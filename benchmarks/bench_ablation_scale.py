@@ -1,0 +1,64 @@
+"""Ablation: analysis cost vs subject scale.
+
+The paper's headline claim is *scalable* checking: cost should grow
+near-linearly with the code size rather than exploding.  This sweep runs
+the full pipeline on the ZooKeeper profile at several scales and reports
+edges and wall-clock per scale; the assertion allows mildly super-linear
+growth but rejects a blow-up.
+"""
+
+from benchmarks.helpers import MEMORY_BUDGET, emit, format_duration, fsms
+from repro import EngineOptions, Grapple, GrappleOptions
+from repro.workloads import build_subject, classify_report
+
+# Sweep upward: below scale 1 the constant seeded-bug core dominates the
+# subject, so the interesting growth direction is padding *up*.
+SCALES = (1.0, 2.0, 4.0)
+
+
+def _run(scale: float):
+    subject = build_subject("zookeeper", scale=scale)
+    options = GrappleOptions(engine=EngineOptions(memory_budget=MEMORY_BUDGET))
+    run = Grapple(subject.source, list(fsms()), options).run()
+    return subject, run
+
+
+def test_ablation_scale_sweep(benchmark, capsys):
+    results = benchmark.pedantic(
+        lambda: {scale: _run(scale) for scale in SCALES},
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        f"{'scale':>7}{'LoC':>8}{'#EB':>10}{'#EA':>10}{'time':>10}"
+        f"{'TP':>5}{'FP':>5}"
+    ]
+    measures = {}
+    for scale in SCALES:
+        subject, run = results[scale]
+        cls = classify_report(subject.seeds, run.report)
+        tp, fp = cls.totals()
+        stats = run.stats
+        measures[scale] = (subject.loc, stats.edges_after, run.total_time)
+        lines.append(
+            f"{scale:>7}{subject.loc:>8}{stats.edges_before:>10}"
+            f"{stats.edges_after:>10}{format_duration(run.total_time):>10}"
+            f"{tp:>5}{fp:>5}"
+        )
+        assert not cls.missed and not cls.unexpected, scale
+    lines.append(
+        "\nshape: edges and time grow with code size without blow-up"
+        " (the bug-pattern core is constant across scales; padding adds"
+        " clean code).  Small deltas are noisy -- module composition is"
+        " randomised and exception-heavy modules dominate graph size --"
+        " so the trend reads off the endpoints."
+    )
+    emit("Ablation: cost vs subject scale", lines, capsys)
+
+    loc_small, edges_small, _t = measures[SCALES[0]]
+    loc_big, edges_big, _t2 = measures[SCALES[-1]]
+    loc_ratio = loc_big / loc_small
+    edge_ratio = edges_big / edges_small
+    # Edge growth may exceed LoC growth (cloning), but must stay within a
+    # small polynomial factor of it.
+    assert edge_ratio <= loc_ratio ** 2, (edge_ratio, loc_ratio)

@@ -1,0 +1,30 @@
+"""Table 1: characteristics of subject programs.
+
+Paper row format: Subject | Version | #LoC | Description.  Our subjects
+are synthetic stand-ins whose relative sizes follow the paper's; the
+table reports both the generated line counts and the paper's originals.
+"""
+
+from benchmarks.helpers import SUBJECT_NAMES, emit, subject
+
+
+def test_table1_subject_characteristics(benchmark, capsys):
+    subjects = benchmark.pedantic(
+        lambda: [subject(name) for name in SUBJECT_NAMES],
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        f"{'Subject':<12}{'Version':<10}{'#LoC':>8}{'(paper)':>10}"
+        f"{'Modules':>9}  Description"
+    ]
+    for subj in subjects:
+        lines.append(
+            f"{subj.name:<12}{subj.version:<10}{subj.loc:>8}"
+            f"{subj.paper_loc:>10}{subj.module_count:>9}  {subj.description}"
+        )
+    emit("Table 1: characteristics of subject programs", lines, capsys)
+
+    locs = {s.name: s.loc for s in subjects}
+    # Relative ordering must match the paper's Table 1.
+    assert locs["zookeeper"] < locs["hdfs"] <= locs["hadoop"] < locs["hbase"]

@@ -1,0 +1,75 @@
+"""Table 2: bugs reported per checker (TP / FP).
+
+Paper: 376 warnings total across the four checkers and four subjects, 17
+of them false positives.  The synthetic subjects seed exactly that mix;
+this bench runs all four checkers on every subject and scores warnings
+against the seeded ground truth.
+"""
+
+import pytest
+
+from benchmarks.helpers import SUBJECT_NAMES, classification, emit, grapple_run
+
+CHECKERS = ("io", "lock", "exception", "socket")
+
+# Paper Table 2: (TP, FP) per checker, per subject.
+PAPER = {
+    "zookeeper": {"io": (2, 0), "lock": (0, 0), "exception": (59, 0), "socket": (4, 0)},
+    "hadoop": {"io": (0, 0), "lock": (0, 0), "exception": (54, 2), "socket": (0, 0)},
+    "hdfs": {"io": (1, 1), "lock": (1, 0), "exception": (43, 3), "socket": (4, 1)},
+    "hbase": {"io": (15, 2), "lock": (0, 0), "exception": (176, 8), "socket": (0, 0)},
+}
+
+
+@pytest.mark.parametrize("name", SUBJECT_NAMES)
+def test_table2_subject(benchmark, name):
+    """Per-subject run (timed once; results consumed by the summary)."""
+    subj, run = benchmark.pedantic(
+        lambda: grapple_run(name), rounds=1, iterations=1
+    )
+    assert len(run.report) > 0
+
+
+def test_table2_summary(benchmark, capsys):
+    results = benchmark.pedantic(
+        lambda: {name: classification(name) for name in SUBJECT_NAMES},
+        rounds=1,
+        iterations=1,
+    )
+    header = f"{'Checker':<11}" + "".join(
+        f"{c + ' TP':>14}{'FP':>5}" for c in CHECKERS
+    ) + f"{'total TP':>11}{'FP':>5}"
+    lines = [header]
+    grand_tp = grand_fp = 0
+    for name in SUBJECT_NAMES:
+        result = results[name]
+        row = f"{name:<11}"
+        total_tp = total_fp = 0
+        for checker in CHECKERS:
+            tp, fp = result.row(checker)
+            row += f"{tp:>14}{fp:>5}"
+            total_tp += tp
+            total_fp += fp
+        row += f"{total_tp:>11}{total_fp:>5}"
+        lines.append(row)
+        grand_tp += total_tp
+        grand_fp += total_fp
+
+        # Shape assertions: exactly the paper's per-checker counts, no
+        # missed seeds, no warnings outside seeded code.
+        for checker in CHECKERS:
+            assert result.row(checker) == PAPER[name][checker], (
+                name, checker, result.row(checker)
+            )
+        assert not result.missed, (name, result.missed)
+        assert not result.unexpected, (name, result.unexpected)
+
+    lines.append(
+        f"\ntotal warnings: {grand_tp + grand_fp}"
+        f" (paper: 376), false positives: {grand_fp} (paper: 17),"
+        f" FP rate: {grand_fp / (grand_tp + grand_fp):.1%} (paper: 4.5%)"
+    )
+    emit("Table 2: bugs reported per checker", lines, capsys)
+
+    assert grand_tp + grand_fp == 376
+    assert grand_fp == 17

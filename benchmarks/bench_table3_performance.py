@@ -1,0 +1,64 @@
+"""Table 3: Grapple's performance.
+
+Paper columns: #V, #EB (edges before computation), #EA (edges after),
+PT (preprocessing time), CT (computation time), TT (total).  Absolute
+numbers are ~1000x smaller than the paper's (Python engine, synthetic
+subjects); the shapes to check are edge growth (~2x during computation)
+and HBase being the by-far-slowest subject.
+"""
+
+import pytest
+
+from benchmarks.helpers import (
+    SUBJECT_NAMES,
+    emit,
+    format_duration,
+    grapple_run,
+)
+
+
+@pytest.mark.parametrize("name", SUBJECT_NAMES)
+def test_table3_subject(benchmark, name):
+    subj, run = benchmark.pedantic(
+        lambda: grapple_run(name), rounds=1, iterations=1
+    )
+    stats = run.stats
+    assert stats.edges_after > stats.edges_before
+
+
+def test_table3_summary(benchmark, capsys):
+    runs = benchmark.pedantic(
+        lambda: {name: grapple_run(name) for name in SUBJECT_NAMES},
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        f"{'Subject':<11}{'#V':>9}{'#EB':>10}{'#EA':>10}"
+        f"{'PT':>9}{'CT':>10}{'TT':>10}"
+    ]
+    totals = {}
+    for name in SUBJECT_NAMES:
+        _subj, run = runs[name]
+        stats = run.stats
+        lines.append(
+            f"{name:<11}{stats.vertices:>9}{stats.edges_before:>10}"
+            f"{stats.edges_after:>10}"
+            f"{format_duration(run.preprocess_time):>9}"
+            f"{format_duration(run.computation_time):>10}"
+            f"{format_duration(run.total_time):>10}"
+        )
+        totals[name] = run.total_time
+    lines.append(
+        "\nshape checks: edges roughly double during computation;"
+        " hbase is the slowest subject by a wide margin"
+        " (paper: 33h51m vs 53m-1h54m)."
+    )
+    emit("Table 3: Grapple performance", lines, capsys)
+
+    for name in SUBJECT_NAMES:
+        _subj, run = runs[name]
+        stats = run.stats
+        growth = stats.edges_after / stats.edges_before
+        assert 1.3 <= growth <= 5.0, (name, growth)
+    assert totals["hbase"] == max(totals.values())
+    assert totals["hbase"] >= 2 * min(totals.values())

@@ -1,0 +1,77 @@
+"""§5.3: the traditional (non-systemised) implementation runs out of memory.
+
+"This implementation could not successfully analyze any program in our
+set -- it ran out of memory quickly after several iterations."  The
+in-memory worklist checker, holding full constraint objects on every edge
+and fact, is given the scaled equivalent of the paper's 16 GB and must
+OOM on all four subjects -- while Grapple, with the same budget for its
+in-memory partitions, finishes every one.
+"""
+
+import pytest
+
+from benchmarks.helpers import (
+    MEMORY_BUDGET,
+    SUBJECT_NAMES,
+    emit,
+    format_duration,
+    fsms,
+    grapple_run,
+    subject,
+)
+from repro.analysis.frontend import compile_source
+from repro.baselines import OutOfMemoryError, run_traditional_check
+
+_outcomes: dict = {}
+
+
+def _traditional(name: str):
+    if name not in _outcomes:
+        compiled = compile_source(subject(name).source)
+        try:
+            stats = run_traditional_check(
+                compiled, list(fsms()), memory_budget=MEMORY_BUDGET
+            )
+            _outcomes[name] = ("completed", stats)
+        except OutOfMemoryError as error:
+            _outcomes[name] = ("OOM", error.stats)
+    return _outcomes[name]
+
+
+@pytest.mark.parametrize("name", SUBJECT_NAMES)
+def test_traditional_ooms(benchmark, name):
+    outcome, stats = benchmark.pedantic(
+        lambda: _traditional(name), rounds=1, iterations=1
+    )
+    assert outcome == "OOM", (
+        f"{name}: traditional implementation unexpectedly completed"
+        f" within the scaled 16 GB budget"
+    )
+
+
+def test_traditional_summary(benchmark, capsys):
+    def collect():
+        return {name: _traditional(name) for name in SUBJECT_NAMES}
+
+    outcomes = benchmark.pedantic(collect, rounds=1, iterations=1)
+    lines = [
+        f"{'Subject':<11}{'traditional':>14}{'at (MiB)':>10}"
+        f"{'after':>10}{'Grapple':>18}"
+    ]
+    for name in SUBJECT_NAMES:
+        outcome, stats = outcomes[name]
+        _subj, run = grapple_run(name)
+        lines.append(
+            f"{name:<11}{outcome:>14}"
+            f"{stats.estimated_bytes / (1 << 20):>10.1f}"
+            f"{format_duration(stats.elapsed):>10}"
+            f"{'done in ' + format_duration(run.total_time):>18}"
+        )
+    lines.append(
+        f"\nmemory budget: {MEMORY_BUDGET >> 20} MiB (the paper's 16 GB"
+        " scaled by the ~1000x graph-size ratio).  Grapple finishes every"
+        " subject within the same budget by going out-of-core."
+    )
+    emit("Traditional baseline: out-of-memory on all subjects", lines, capsys)
+
+    assert all(outcome == "OOM" for outcome, _ in outcomes.values())

@@ -1,0 +1,49 @@
+"""Audit a full synthetic subject with all four checkers (mini Table 2).
+
+Generates the ZooKeeper-profile subject (seeded with the paper's Table 2
+bug mix: 65 true bugs, 0 false positives), runs the I/O, lock, exception
+and socket checkers in one Grapple execution, and scores the report
+against the seeded ground truth.
+
+Run:  python examples/audit_synthetic_subject.py  [subject] [scale]
+"""
+
+import sys
+
+from repro import Grapple, default_checkers
+from repro.workloads import build_subject, classify_report
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "zookeeper"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+    subject = build_subject(name, scale=scale)
+    print(f"== Auditing {subject.name} {subject.version}"
+          f" ({subject.description}) ==")
+    print(f"   {subject.loc} lines, {subject.module_count} modules,"
+          f" {len(subject.seeds)} seeded patterns\n")
+
+    fsms = [c.fsm for c in default_checkers()]
+    run = Grapple(subject.source, fsms).run()
+    result = classify_report(subject.seeds, run.report)
+
+    print(f"{'checker':<12}{'TP':>6}{'FP':>6}{'missed':>8}")
+    for checker in ("io", "lock", "exception", "socket"):
+        tp, fp = result.row(checker)
+        missed = result.missed.get(checker, 0)
+        print(f"{checker:<12}{tp:>6}{fp:>6}{missed:>8}")
+    tp, fp = result.totals()
+    print(f"{'total':<12}{tp:>6}{fp:>6}")
+    print(f"\nunexpected warnings : {len(result.unexpected)}")
+    print(f"analysis time       : {run.total_time:.1f}s")
+    stats = run.stats
+    print(f"edges               : {stats.edges_before} -> {stats.edges_after}")
+    print(f"cache hit rate      : {stats.cache_hit_rate:.0%}")
+
+    assert not result.unexpected, "warnings at unseeded code!"
+    assert not result.missed, "seeded bugs were missed!"
+    print("\nOK: every seeded bug found, nothing else flagged.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Writing a custom finite-state property checker.
+
+Grapple takes (1) a program graph, (2) a set of types of interest, and
+(3) FSMs describing their legal states and transitions (paper §1.2).  New
+checkers are just FSMs -- this example specifies a database-transaction
+protocol (begin -> work -> commit/rollback, never two begins, never work
+after commit) and checks two services against it.
+
+Run:  python examples/custom_checker.py
+"""
+
+from repro import Grapple, make_fsm
+
+
+def transaction_checker():
+    """A Transaction must commit or roll back before program exit; using
+    it outside an active transaction is an error."""
+    return make_fsm(
+        name="txn",
+        types={"Transaction"},
+        initial="Idle",
+        transitions={
+            ("Idle", "begin"): "Active",
+            ("Active", "execute"): "Active",
+            ("Active", "commit"): "Done",
+            ("Active", "rollback"): "Done",
+            ("Idle", "execute"): "Error",  # work outside a transaction
+            ("Active", "begin"): "Error",  # nested begin
+            ("Done", "execute"): "Error",  # work after commit
+        },
+        accepting={"Idle", "Done"},
+        error_states={"Error"},
+    )
+
+
+GOOD_SERVICE = """
+func update_row(t, v) {
+    t.execute(v);
+    return;
+}
+func main(req) {
+    var t = new Transaction();
+    t.begin();
+    update_row(t, req);
+    if (req > 0) {
+        t.commit();
+    } else {
+        t.rollback();
+    }
+    return;
+}
+"""
+
+# Two bugs: execute before begin, and a path (req <= 0) that exits with
+# the transaction still active.
+BUGGY_SERVICE = """
+func main(req) {
+    var t = new Transaction();
+    t.execute(req);
+    t.begin();
+    if (req > 0) {
+        t.commit();
+    }
+    return;
+}
+"""
+
+
+def main() -> None:
+    fsm = transaction_checker()
+    print("== Custom checker: database transaction protocol ==\n")
+    print(f"states      : {sorted(fsm.states())}")
+    print(f"events      : {sorted(fsm.events())}")
+    print()
+
+    good = Grapple(GOOD_SERVICE, [fsm]).run().report
+    print(f"well-behaved service : {len(good)} warning(s)")
+
+    bad = Grapple(BUGGY_SERVICE, [fsm]).run().report
+    print(f"buggy service        : {len(bad)} warning(s)")
+    for warning in bad.warnings:
+        print(f"   {warning.describe()}")
+
+    assert len(good) == 0
+    assert any(w.kind == "error-transition" for w in bad.warnings)
+    print("\nOK: the protocol violation was caught by the custom FSM.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Phase drivers and the end-to-end Grapple pipeline (paper §2.2).
+
+1. :mod:`repro.analysis.frontend` compiles mini-language source into core
+   form plus the ICFET, call graph, type info and clone forest;
+2. :mod:`repro.analysis.alias` runs the path-sensitive alias analysis
+   (phase 1) on the engine;
+3. :mod:`repro.analysis.dataflow` runs the path-sensitive dataflow/typestate
+   analysis (phase 2), consulting phase 1's results for alias queries;
+4. :mod:`repro.analysis.pipeline` extracts per-point states and checks them
+   against the FSMs (phase 3), producing the bug report.
+"""
+
+from repro.analysis.frontend import CompiledProgram, compile_source
+from repro.analysis.alias import AliasAnalysis, run_alias_phase
+from repro.analysis.dataflow import DataflowAnalysis, run_dataflow_phase
+from repro.analysis.pipeline import Grapple, GrappleOptions, GrappleRun
+
+__all__ = [
+    "CompiledProgram",
+    "compile_source",
+    "AliasAnalysis",
+    "run_alias_phase",
+    "DataflowAnalysis",
+    "run_dataflow_phase",
+    "Grapple",
+    "GrappleOptions",
+    "GrappleRun",
+]

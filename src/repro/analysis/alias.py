@@ -1,0 +1,82 @@
+"""Phase 1: path-sensitive, context-sensitive alias analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.frontend import CompiledProgram
+from repro.engine.computation import EngineOptions, EngineResult, GraphEngine
+from repro.grammar.pointsto import ALIAS, FLOWS_TO, PointsToGrammar
+from repro.graph.alias_graph import AliasGraphResult, build_alias_graph
+
+
+@dataclass
+class AliasAnalysis:
+    """Phase 1 output held in memory for phase 2's alias queries."""
+
+    graph_result: AliasGraphResult
+    engine_result: EngineResult
+    # (object vertex, variable vertex) -> tuple of witness path encodings
+    flows_to: dict = field(default_factory=dict)
+    alias_pair_count: int = 0
+
+    def flows_to_encodings(self, obj_vertex: int, var_vertex: int):
+        return self.flows_to.get((obj_vertex, var_vertex), ())
+
+    def points_to(self, func: str, var: str, ctx: tuple | None = None):
+        """Allocation sites the variable may reference.
+
+        The cloning-based design answers the query the paper uses to
+        motivate it (§2.1): *"what objects does a variable point to under
+        a particular context?"* -- pass ``ctx`` (a clone's cid tuple) to
+        scope the answer to one calling context; omit it to union over all
+        contexts.  Returns ``{(site, ctx), ...}``.
+        """
+        vertices = self.graph_result.graph.vertices
+        out = set()
+        for src, dst, _enc in self.engine_result.edges_with_label(FLOWS_TO):
+            dst_key = vertices.lookup(dst)
+            if dst_key[0] != "var":
+                continue
+            if dst_key[2] != func or dst_key[3] != var:
+                continue
+            if ctx is not None and dst_key[1] != ctx:
+                continue
+            src_key = vertices.lookup(src)
+            if src_key[0] == "obj":
+                out.add((src_key[1], dst_key[1]))
+        return out
+
+    def iter_alias_pairs(self):
+        """Stream the computed alias pairs as resolved vertex keys."""
+        vertices = self.graph_result.graph.vertices
+        for src, dst, _enc in self.engine_result.edges_with_label(ALIAS):
+            yield vertices.lookup(src), vertices.lookup(dst)
+
+
+def run_alias_phase(
+    compiled: CompiledProgram,
+    tracked_types: set[str] | None = None,
+    options: EngineOptions | None = None,
+) -> AliasAnalysis:
+    """Build the alias program graph and run the points-to closure."""
+    graph_result = build_alias_graph(
+        compiled.program,
+        compiled.icfet,
+        compiled.callgraph,
+        compiled.info,
+        compiled.forest,
+        tracked_types,
+    )
+    engine = GraphEngine(compiled.icfet, PointsToGrammar(), options)
+    engine_result = engine.run(graph_result.graph)
+
+    analysis = AliasAnalysis(graph_result, engine_result)
+    tracked_vertices = {t.vertex for t in graph_result.tracked}
+    for src, dst, label, encoding in engine_result.iter_edges():
+        if label == FLOWS_TO and src in tracked_vertices:
+            key = (src, dst)
+            analysis.flows_to[key] = analysis.flows_to.get(key, ()) + (encoding,)
+        elif label == ALIAS:
+            analysis.alias_pair_count += 1
+    return analysis

@@ -1,0 +1,39 @@
+"""Phase 2: path-sensitive dataflow (typestate) analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.alias import AliasAnalysis
+from repro.analysis.frontend import CompiledProgram
+from repro.checkers.fsm import FSM
+from repro.engine.computation import EngineOptions, EngineResult, GraphEngine
+from repro.grammar.dataflow import DataflowGrammar
+from repro.graph.dataflow_graph import DataflowGraphResult, build_dataflow_graph
+
+
+@dataclass
+class DataflowAnalysis:
+    graph_result: DataflowGraphResult
+    engine_result: EngineResult
+
+
+def run_dataflow_phase(
+    compiled: CompiledProgram,
+    alias_phase: AliasAnalysis,
+    fsms_by_type: dict[str, FSM],
+    options: EngineOptions | None = None,
+) -> DataflowAnalysis:
+    """Propagate FSM states over the dataflow graph, answering alias
+    queries from phase 1's in-memory results."""
+    graph_result = build_dataflow_graph(
+        compiled.icfet, alias_phase.graph_result, fsms_by_type
+    )
+    grammar = DataflowGrammar(
+        objects=graph_result.objects,
+        alias_index=alias_phase.flows_to,
+        events_meta=graph_result.events_meta,
+    )
+    engine = GraphEngine(compiled.icfet, grammar, options)
+    engine_result = engine.run(graph_result.graph)
+    return DataflowAnalysis(graph_result, engine_result)

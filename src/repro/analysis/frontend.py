@@ -1,0 +1,62 @@
+"""Frontend driver: source text to analysable program artifacts."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.lang import ast
+from repro.lang.callgraph import CallGraph, build_call_graph
+from repro.lang.parser import parse_program
+from repro.lang.transform import (
+    lower_exceptions,
+    normalize_calls,
+    unroll_loops,
+)
+from repro.lang.types import ObjectInfo, infer_object_vars
+from repro.cfet.icfet import Icfet, build_icfet
+from repro.graph.cloning import CloneForest, enumerate_clones
+
+
+@dataclass
+class CompiledProgram:
+    """Everything the analyses need about one subject program."""
+
+    program: ast.Program
+    icfet: Icfet
+    callgraph: CallGraph
+    info: ObjectInfo
+    forest: CloneForest
+    loc: int
+    frontend_time: float
+
+
+def compile_source(
+    source: str,
+    unroll: int = 2,
+    max_clone_depth: int = 24,
+    max_clones: int = 500_000,
+) -> CompiledProgram:
+    """Parse, lower, and index a subject program."""
+    start = time.perf_counter()
+    program = parse_program(source)
+    normalize_calls(program)
+    unroll_loops(program, unroll)
+    lower_exceptions(program)
+    icfet = build_icfet(program)
+    callgraph = build_call_graph(program)
+    info = infer_object_vars(program)
+    forest = enumerate_clones(
+        program, icfet, callgraph,
+        max_depth=max_clone_depth, max_clones=max_clones,
+    )
+    loc = sum(1 for line in source.splitlines() if line.strip())
+    return CompiledProgram(
+        program=program,
+        icfet=icfet,
+        callgraph=callgraph,
+        info=info,
+        forest=forest,
+        loc=loc,
+        frontend_time=time.perf_counter() - start,
+    )

@@ -1,0 +1,199 @@
+"""The end-to-end Grapple pipeline (paper §2.2's three-phase workflow).
+
+:class:`Grapple` ties everything together: compile the subject, run the
+path-sensitive alias closure (phase 1), run the path-sensitive dataflow
+closure with in-memory alias queries (phase 2), then extract state facts
+and check them against every applicable FSM (phase 3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis.alias import AliasAnalysis, run_alias_phase
+from repro.analysis.dataflow import DataflowAnalysis, run_dataflow_phase
+from repro.analysis.frontend import CompiledProgram, compile_source
+from repro.checkers.fsm import FSM
+from repro.checkers.report import Report, Warning
+from repro.engine.computation import EngineOptions
+from repro.engine.stats import EngineStats
+
+
+@dataclass
+class GrappleOptions:
+    """End-to-end knobs: frontend bounds plus engine options."""
+
+    unroll: int = 2
+    max_clone_depth: int = 24
+    max_clones: int = 500_000
+    engine: EngineOptions = field(default_factory=EngineOptions)
+
+
+@dataclass
+class GrappleRun:
+    """Everything produced by one Grapple execution."""
+
+    compiled: CompiledProgram
+    alias_phase: AliasAnalysis
+    dataflow_phase: DataflowAnalysis
+    report: Report
+    preprocess_time: float
+    computation_time: float
+    total_time: float
+
+    @property
+    def stats(self) -> EngineStats:
+        """Merged engine stats across both phases (Fig. 9 components)."""
+        merged = EngineStats()
+        for result in (
+            self.alias_phase.engine_result,
+            self.dataflow_phase.engine_result,
+        ):
+            merged.merge(result.stats)
+            merged.iterations += result.stats.iterations
+            merged.repartitions += result.stats.repartitions
+            merged.final_partitions += result.stats.final_partitions
+        merged.edges_before = (
+            self.alias_phase.engine_result.stats.edges_before
+            + self.dataflow_phase.engine_result.stats.edges_before
+        )
+        merged.edges_after = (
+            self.alias_phase.engine_result.stats.edges_after
+            + self.dataflow_phase.engine_result.stats.edges_after
+        )
+        merged.vertices = (
+            self.alias_phase.engine_result.stats.vertices
+            + self.dataflow_phase.engine_result.stats.vertices
+        )
+        return merged
+
+
+class Grapple:
+    """Facade: check finite-state properties of one subject program."""
+
+    def __init__(
+        self,
+        source: str,
+        fsms: list[FSM],
+        options: GrappleOptions | None = None,
+    ):
+        self.source = source
+        self.fsms = list(fsms)
+        self.options = options or GrappleOptions()
+
+    def run(self) -> GrappleRun:
+        options = self.options
+        start = time.perf_counter()
+        compiled = compile_source(
+            self.source,
+            unroll=options.unroll,
+            max_clone_depth=options.max_clone_depth,
+            max_clones=options.max_clones,
+        )
+        fsms_by_type: dict[str, FSM] = {}
+        for fsm in self.fsms:
+            for type_name in fsm.types:
+                fsms_by_type[type_name] = fsm
+        tracked_types = set(fsms_by_type)
+
+        alias_phase = run_alias_phase(compiled, tracked_types, options.engine)
+        dataflow_phase = run_dataflow_phase(
+            compiled, alias_phase, fsms_by_type, options.engine
+        )
+        report = extract_report(dataflow_phase, compiled.icfet)
+        total = time.perf_counter() - start
+
+        preprocess = (
+            compiled.frontend_time
+            + alias_phase.engine_result.stats.preprocess_time
+            + dataflow_phase.engine_result.stats.preprocess_time
+        )
+        return GrappleRun(
+            compiled=compiled,
+            alias_phase=alias_phase,
+            dataflow_phase=dataflow_phase,
+            report=report,
+            preprocess_time=preprocess,
+            computation_time=total - preprocess,
+            total_time=total,
+        )
+
+
+def extract_report(
+    dataflow_phase: DataflowAnalysis,
+    icfet=None,
+    with_witnesses: bool = True,
+) -> Report:
+    """Phase 3: check each object's reachable states against its FSM.
+
+    When the ICFET is supplied, each warning carries a *witness*: a
+    concrete assignment to the program's inputs satisfying the path
+    constraint of one witnessing path (decoded from the state edge's
+    encoding and solved for a model).
+    """
+    report = Report()
+    objects = dataflow_phase.graph_result.objects
+    exits = dataflow_phase.graph_result.exit_vertices
+    fsm_by_name = {fsm.name: fsm for fsm, _, _ in objects.values()}
+    for src, dst, label, encoding in dataflow_phase.engine_result.iter_edges():
+        if label[0] != "st":
+            continue
+        entry = objects.get(src)
+        if entry is None:
+            continue
+        fsm_name, state = label[1], label[2]
+        fsm = fsm_by_name.get(fsm_name)
+        if fsm is None:
+            continue
+        _, _, tracked = entry
+        if fsm.is_error(state):
+            kind = "error-transition"
+        elif dst in exits and fsm.violates_at_exit(state):
+            kind = "at-exit"
+        else:
+            continue
+        witness = ()
+        if with_witnesses and icfet is not None:
+            witness = _witness_of(encoding, icfet)
+        report.add(
+            Warning(
+                checker=fsm_name,
+                kind=kind,
+                site=tracked.site,
+                type_name=tracked.type_name,
+                state=state,
+                func=tracked.clone_key[1],
+                line=tracked.line,
+                witness=witness,
+            )
+        )
+    return report
+
+
+def _witness_of(encoding, icfet) -> tuple:
+    """Concrete triggering inputs for one witnessing path encoding."""
+    from repro.cfet.encoding import decode_constraint
+    from repro.smt import Solver
+
+    try:
+        constraint = decode_constraint(encoding, icfet)
+        model = Solver().get_model(constraint)
+    except (ValueError, KeyError):  # string-mode payloads, pruned ICFETs
+        return ()
+    if not model:
+        return ()
+    entries = []
+    for name in sorted(model):
+        if not isinstance(name, str) or "@" in name or "::" not in name:
+            continue  # only root-context program symbols
+        short = name.split("::", 1)[1]
+        if short.startswith(("opaque_", "ret_occ", "thr_occ", "__")):
+            continue
+        value = model[name]
+        if hasattr(value, "denominator") and value.denominator == 1:
+            value = int(value)
+        entries.append(f"{name} = {value}")
+        if len(entries) >= 4:
+            break
+    return tuple(entries)

@@ -1,0 +1,28 @@
+"""Comparison baselines from the paper's §5.3.
+
+* :mod:`repro.baselines.traditional` -- a traditional (non-systemised)
+  in-memory worklist implementation of the path-sensitive alias analysis,
+  with explicit constraint objects attached to edges.  With a bounded
+  memory budget it runs out of memory on every subject, as the paper
+  observed ("it ran out of memory quickly after several iterations").
+* :mod:`repro.baselines.string_constraints` -- the systemised variant that
+  stores constraints as strings embedded in edges (Table 5): it needs far
+  more partitions and iterations, solves more constraints, and is much
+  slower than interval encodings.
+"""
+
+from repro.baselines.traditional import (
+    OutOfMemoryError,
+    TraditionalStats,
+    run_traditional_alias,
+    run_traditional_check,
+)
+from repro.baselines.string_constraints import run_string_based
+
+__all__ = [
+    "OutOfMemoryError",
+    "TraditionalStats",
+    "run_traditional_alias",
+    "run_traditional_check",
+    "run_string_based",
+]

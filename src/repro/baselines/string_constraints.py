@@ -1,0 +1,69 @@
+"""String-based constraint representation baseline (paper Table 5).
+
+The same systemised engine, but each edge embeds its whole constraint as a
+string rather than an interval-sequence encoding.  Strings grow with path
+length, so partitions blow past the memory budget and repartition
+aggressively; more partitions mean more computational iterations and more
+constraint solving.  On the largest subject the paper's version of this
+baseline did not terminate within 200 hours -- pass ``time_budget`` to
+let the run report a timeout instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.analysis.pipeline import Grapple, GrappleOptions, GrappleRun
+from repro.checkers.fsm import FSM
+from repro.engine.computation import EngineOptions
+
+
+@dataclass
+class StringBaselineResult:
+    run: GrappleRun | None
+    timed_out: bool
+    partitions: int
+    iterations: int
+    constraints_solved: int
+    total_time: float
+
+
+def run_string_based(
+    source: str,
+    fsms: list[FSM],
+    options: GrappleOptions | None = None,
+    time_budget: float | None = None,
+) -> StringBaselineResult:
+    """Run the full pipeline with string-encoded constraints."""
+    options = options or GrappleOptions()
+    engine_options = replace(
+        options.engine,
+        constraint_mode="string",
+        time_budget=time_budget,
+    )
+    string_options = GrappleOptions(
+        unroll=options.unroll,
+        max_clone_depth=options.max_clone_depth,
+        max_clones=options.max_clones,
+        engine=engine_options,
+    )
+    run = Grapple(source, fsms, string_options).run()
+    stats = run.stats
+    timed_out = _timed_out(run)
+    return StringBaselineResult(
+        run=run,
+        timed_out=timed_out,
+        partitions=stats.final_partitions,
+        iterations=stats.pairs_processed,
+        constraints_solved=stats.constraints_solved,
+        total_time=run.total_time,
+    )
+
+
+def _timed_out(run: GrappleRun) -> bool:
+    # GraphEngine records timeout on itself; the pipeline keeps only the
+    # results, so infer from the per-phase stats flag set by the engine.
+    for result in (run.alias_phase.engine_result, run.dataflow_phase.engine_result):
+        if getattr(result.stats, "timed_out", False):
+            return True
+    return False

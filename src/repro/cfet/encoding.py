@@ -1,0 +1,242 @@
+"""Interval-sequence path encodings (paper §3.1-§3.2, §4.2).
+
+An encoding is a tuple of elements:
+
+* ``("I", func, start, end)`` -- an interval on ``func``'s CFET: the path
+  from node ``start`` down to node ``end``;
+* ``("C", cid)`` -- the ICFET call edge of call record ``cid``;
+* ``("R", rid)`` -- the ICFET return edge of call record ``rid``.
+
+:func:`merge` implements the paper's four composition cases: chaining of
+adjacent intervals in the same method, plain concatenation around single
+call/return ids, and cancellation of completed ``(C, callee-path, R)``
+triples.  :func:`reverse` produces the encoding of a *bar* (reversed) edge;
+path constraints are direction-independent, so intervals are kept and call
+and return ids swap roles.
+
+:func:`decode_constraint` is Algorithm 1 extended interprocedurally: each
+interval contributes its branch literals, each call edge its parameter-
+passing equations, each return edge its result equation.  Symbols are given
+per-invocation instances (``foo::x@2``) so that two invocations of the same
+method on one path do not share constraint variables.
+"""
+
+from __future__ import annotations
+
+from repro.smt import expr as E
+from repro.cfet.icfet import Icfet
+
+# Tags.
+INTERVAL = "I"
+CALL = "C"
+RETURN = "R"
+BREAK = ("B",)  # retained for API compatibility; merge never emits it
+
+# Encodings longer than this are refused (merge returns None and the engine
+# drops the composition).  The paper notes encoding length is bounded by
+# call depth, which is small in practice.
+MAX_ELEMENTS = 64
+
+Encoding = tuple
+
+
+def interval(func: str, start: int, end: int) -> tuple:
+    """Encoding element for a CFET path from ``start`` down to ``end``."""
+    return (INTERVAL, func, start, end)
+
+
+def call_elem(cid: int) -> tuple:
+    """Encoding element for an ICFET call edge."""
+    return (CALL, cid)
+
+
+def return_elem(rid: int) -> tuple:
+    """Encoding element for an ICFET return edge."""
+    return (RETURN, rid)
+
+
+def single(func: str, node_id: int) -> Encoding:
+    """The encoding ``{[i, i]}`` of an edge inside one basic block."""
+    return (interval(func, node_id, node_id),)
+
+
+def merge(enc1: Encoding, enc2: Encoding, icfet: Icfet) -> Encoding | None:
+    """Compose two path encodings (the four cases of §4.2).
+
+    Returns None when the composition exceeds :data:`MAX_ELEMENTS`.
+    """
+    seq = list(enc1) + list(enc2)
+    _normalize(seq, icfet)
+    if len(seq) > MAX_ELEMENTS:
+        return None
+    return tuple(seq)
+
+
+def _normalize(seq: list, icfet: Icfet) -> None:
+    """Apply interval chaining and call/return cancellation to fixpoint."""
+    changed = True
+    while changed:
+        changed = False
+        i = 0
+        while i + 1 < len(seq):
+            a, b = seq[i], seq[i + 1]
+            if (
+                a[0] == INTERVAL
+                and b[0] == INTERVAL
+                and a[1] == b[1]
+                and a[3] == b[2]
+            ):
+                seq[i : i + 2] = [(INTERVAL, a[1], a[2], b[3])]
+                changed = True
+                continue
+            i += 1
+        i = 0
+        while i + 2 < len(seq):
+            a, m, b = seq[i], seq[i + 1], seq[i + 2]
+            if (
+                a[0] == CALL
+                and m[0] == INTERVAL
+                and b[0] == RETURN
+                and _matched(a[1], b[1], icfet)
+                and m[2] == 0  # the callee path is complete (root to leaf)
+            ):
+                # Case 3: the callee part has completed; drop the triple.
+                seq[i : i + 3] = []
+                changed = True
+                continue
+            i += 1
+
+
+def _matched(cid: int, rid: int, icfet: Icfet) -> bool:
+    record = icfet.by_rid.get(rid)
+    return record is not None and record.cid == cid
+
+
+def reverse(enc: Encoding) -> Encoding:
+    """Encoding of the reversed (bar) edge."""
+    out = []
+    for elem in reversed(enc):
+        if elem[0] == CALL:
+            record_cid = elem[1]
+            out.append((RETURN, _rid_of_cid(record_cid)))
+        elif elem[0] == RETURN:
+            out.append((CALL, _cid_of_rid(elem[1])))
+        else:
+            out.append(elem)
+    return tuple(out)
+
+
+# cid and rid are allocated as consecutive ids by the CFET builder; keep
+# the pairing logic in one place in case that ever changes.
+def _rid_of_cid(cid: int) -> int:
+    return cid + 1
+
+
+def _cid_of_rid(rid: int) -> int:
+    return rid - 1
+
+
+def decode_constraint(enc: Encoding, icfet: Icfet) -> E.Expr:
+    """Recover the path constraint of an encoding (Algorithm 1 + §3.2).
+
+    Returns a boolean :class:`repro.smt.expr.Expr`; the caller sends it to
+    the solver.
+    """
+    literals: list[E.Expr] = []
+    stack: list[int] = [0]
+    next_instance = 1
+    last_interval: tuple | None = None  # (func, end_node) of previous elem
+
+    for elem in enc:
+        if elem[0] == INTERVAL:
+            _, func, start, end = elem
+            cfet = icfet.cfets.get(func)
+            if cfet is not None:
+                constraint = cfet.path_constraint(start, end)
+                literals.append(_instanced(constraint, stack[-1]))
+            last_interval = (func, end)
+            continue
+        if elem[0] == CALL:
+            record = icfet.by_cid.get(elem[1])
+            if record is None:
+                continue
+            caller_inst = stack[-1]
+            callee_inst = next_instance
+            next_instance += 1
+            stack.append(callee_inst)
+            for equation in record.equations:
+                literals.append(
+                    _instanced_by_namespace(
+                        equation, record.callee, callee_inst, caller_inst
+                    )
+                )
+            last_interval = None
+            continue
+        if elem[0] == RETURN:
+            record = icfet.by_rid.get(elem[1])
+            if record is None:
+                continue
+            if len(stack) > 1:
+                callee_inst = stack.pop()
+                caller_inst = stack[-1]
+            else:
+                # Walking out of a callee whose entry we never saw (reversed
+                # fragments); give the caller side a fresh instance.
+                callee_inst = stack[-1]
+                caller_inst = next_instance
+                next_instance += 1
+                stack[-1] = caller_inst
+            for equation in _return_equations(record, last_interval, icfet):
+                literals.append(
+                    _instanced_by_namespace(
+                        equation, record.callee, callee_inst, caller_inst
+                    )
+                )
+            last_interval = None
+            continue
+    return E.and_(*literals)
+
+
+def _return_equations(record, last_interval, icfet: Icfet) -> list:
+    """Equations contributed by one return edge: the result value and the
+    callee's ``__thrown`` register, when determinable from the preceding
+    callee-path fragment."""
+    if last_interval is None or last_interval[0] != record.callee:
+        return []
+    leaf = icfet.cfets[record.callee].nodes.get(last_interval[1])
+    if leaf is None:
+        return []
+    equations = []
+    if (
+        record.result_symbol is not None
+        and leaf.return_value is not None
+        and leaf.return_value.sort == "int"
+    ):
+        equations.append(E.eq(E.IntVar(record.result_symbol), leaf.return_value))
+    if (
+        record.thrown_symbol is not None
+        and leaf.thrown_value is not None
+        and leaf.thrown_value.sort == "int"
+    ):
+        equations.append(E.eq(E.IntVar(record.thrown_symbol), leaf.thrown_value))
+    return equations
+
+
+def _instanced(expr: E.Expr, instance: int) -> E.Expr:
+    if instance == 0:
+        return expr
+    return E.rename_variables(expr, lambda n: f"{n}@{instance}")
+
+
+def _instanced_by_namespace(
+    expr: E.Expr, callee: str, callee_inst: int, caller_inst: int
+) -> E.Expr:
+    """Suffix callee-namespaced symbols with the callee instance and all
+    other (caller-side) symbols with the caller instance."""
+    prefix = f"{callee}::"
+
+    def rename(name: str) -> str:
+        inst = callee_inst if name.startswith(prefix) else caller_inst
+        return name if inst == 0 else f"{name}@{inst}"
+
+    return E.rename_variables(expr, rename)

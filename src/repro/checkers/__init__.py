@@ -1,0 +1,23 @@
+"""FSM specifications and the four finite-state property checkers (§5)."""
+
+from repro.checkers.fsm import FSM, FsmError
+from repro.checkers.report import Warning, Report
+from repro.checkers.io_checker import io_checker
+from repro.checkers.lock_checker import lock_checker
+from repro.checkers.exception_checker import exception_checker
+from repro.checkers.socket_checker import socket_checker
+from repro.checkers.checker import Checker, default_checkers, run_checker
+
+__all__ = [
+    "FSM",
+    "FsmError",
+    "Warning",
+    "Report",
+    "Checker",
+    "default_checkers",
+    "run_checker",
+    "io_checker",
+    "lock_checker",
+    "exception_checker",
+    "socket_checker",
+]

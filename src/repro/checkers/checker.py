@@ -1,0 +1,53 @@
+"""Convenience layer: named checkers and a one-call entry point."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.checkers.exception_checker import exception_checker
+from repro.checkers.fsm import FSM
+from repro.checkers.io_checker import io_checker
+from repro.checkers.lock_checker import lock_checker
+from repro.checkers.report import Report
+from repro.checkers.socket_checker import socket_checker
+
+ALL_CHECKERS = {
+    "io": io_checker,
+    "lock": lock_checker,
+    "exception": exception_checker,
+    "socket": socket_checker,
+}
+
+
+@dataclass
+class Checker:
+    """A named property checker: just a human name plus its FSM."""
+
+    name: str
+    fsm: FSM
+
+    @classmethod
+    def by_name(cls, name: str) -> "Checker":
+        """Look up one of the built-in checkers by its short name."""
+        try:
+            factory = ALL_CHECKERS[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown checker {name!r}; available: {sorted(ALL_CHECKERS)}"
+            ) from None
+        return cls(name, factory())
+
+
+def default_checkers() -> list[Checker]:
+    """The paper's four checkers: I/O, lock, exception, socket."""
+    return [Checker.by_name(name) for name in ALL_CHECKERS]
+
+
+def run_checker(source: str, checkers=None, options=None) -> Report:
+    """Check one program with the given (or all four) checkers."""
+    from repro.analysis.pipeline import Grapple
+
+    if checkers is None:
+        checkers = default_checkers()
+    fsms = [c.fsm if isinstance(c, Checker) else c for c in checkers]
+    return Grapple(source, fsms, options).run().report

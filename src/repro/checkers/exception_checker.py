@@ -1,0 +1,33 @@
+"""Exception-handling checker (paper §5, after Yuan et al. [76]).
+
+Exception lowering turns ``throw``/``catch`` into FSM events on the
+exception object (see :mod:`repro.lang.transform`); an exception that can
+reach program exit in state ``Thrown`` never had a handler on that path --
+the paper's dominant bug category (300+ cases).
+"""
+
+from repro.checkers.fsm import FSM, make_fsm
+
+EXCEPTION_TYPES = (
+    "Exception",
+    "IOException",
+    "InterruptedException",
+    "RuntimeException",
+    "TimeoutException",
+    "KeeperException",
+)
+
+
+def exception_checker() -> FSM:
+    """The exception-handling FSM (created/thrown/handled)."""
+    return make_fsm(
+        name="exception",
+        types=EXCEPTION_TYPES,
+        initial="Created",
+        transitions={
+            ("Created", "throw"): "Thrown",
+            ("Thrown", "catch"): "Handled",
+            ("Handled", "throw"): "Thrown",  # rethrow from a handler
+        },
+        accepting={"Created", "Handled"},
+    )

@@ -1,0 +1,40 @@
+"""Java-I/O resource checker (paper §5: 21 warnings, mostly missing close).
+
+The FSM mirrors Figure 3a: a stream opens on allocation, accepts reads and
+writes while open, and must be closed before program exit.  Operating on a
+closed stream is an error transition; reaching exit while still open is a
+resource leak.
+"""
+
+from repro.checkers.fsm import FSM, make_fsm
+
+IO_TYPES = (
+    "FileWriter",
+    "FileReader",
+    "FileInputStream",
+    "FileOutputStream",
+    "BufferedWriter",
+    "BufferedReader",
+    "DataOutputStream",
+)
+
+
+def io_checker() -> FSM:
+    """The Java-I/O resource FSM (paper Figure 3a)."""
+    return make_fsm(
+        name="io",
+        types=IO_TYPES,
+        initial="Open",
+        transitions={
+            ("Open", "write"): "Open",
+            ("Open", "read"): "Open",
+            ("Open", "flush"): "Open",
+            ("Open", "close"): "Closed",
+            ("Closed", "close"): "Closed",  # double close is harmless
+            ("Closed", "write"): "Error",
+            ("Closed", "read"): "Error",
+            ("Closed", "flush"): "Error",
+        },
+        accepting={"Closed"},
+        error_states={"Error"},
+    )

@@ -1,0 +1,27 @@
+"""Lock-usage checker (paper §5: found one lock/unlock mis-ordering).
+
+A lock starts unlocked; ``unlock`` before ``lock`` (the mis-ordering bug
+Grapple found in HDFS) and double ``lock`` are error transitions, and
+reaching program exit while still held is a leaked lock.
+"""
+
+from repro.checkers.fsm import FSM, make_fsm
+
+LOCK_TYPES = ("Lock", "ReentrantLock", "Mutex", "RWLock")
+
+
+def lock_checker() -> FSM:
+    """The lock-usage FSM (lock/unlock ordering and held-at-exit)."""
+    return make_fsm(
+        name="lock",
+        types=LOCK_TYPES,
+        initial="Unlocked",
+        transitions={
+            ("Unlocked", "lock"): "Locked",
+            ("Locked", "unlock"): "Unlocked",
+            ("Unlocked", "unlock"): "Error",  # unlock before lock
+            ("Locked", "lock"): "Error",  # double lock (non-reentrant)
+        },
+        accepting={"Unlocked"},
+        error_states={"Error"},
+    )

@@ -1,0 +1,78 @@
+"""Warning and report types (phase 3 output)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Warning:
+    """One static warning about an allocation site.
+
+    ``kind`` is ``"error-transition"`` (the object reached an FSM error
+    state, e.g. write-after-close) or ``"at-exit"`` (the object can reach
+    program exit in a non-accepting state, e.g. a leak).  ``witness`` is a
+    concrete input assignment satisfying the path constraint of one
+    witnessing path (``("main::x = 2", ...)``); it is informational and
+    excluded from warning identity.
+    """
+
+    checker: str
+    kind: str
+    site: int
+    type_name: str
+    state: str
+    func: str
+    line: int
+    witness: tuple = field(default=(), compare=False)
+
+    def describe(self) -> str:
+        """Human-readable one-line description, including the witness."""
+        if self.kind == "at-exit":
+            text = (
+                f"[{self.checker}] {self.type_name} allocated in {self.func}"
+                f" (line {self.line}, site {self.site}) can reach program"
+                f" exit in state {self.state!r}"
+            )
+        else:
+            text = (
+                f"[{self.checker}] {self.type_name} allocated in {self.func}"
+                f" (line {self.line}, site {self.site}) can reach error state"
+                f" {self.state!r}"
+            )
+        if self.witness:
+            text += f" [e.g. when {', '.join(self.witness)}]"
+        return text
+
+
+@dataclass
+class Report:
+    """All warnings from one Grapple run, deduplicated per site/state."""
+
+    warnings: list[Warning] = field(default_factory=list)
+
+    def add(self, warning: Warning) -> None:
+        """Add a warning unless an identical one is already present."""
+        if warning not in self.warnings:
+            self.warnings.append(warning)
+
+    def by_checker(self, checker: str) -> list[Warning]:
+        """All warnings emitted by one named checker."""
+        return [w for w in self.warnings if w.checker == checker]
+
+    def sites(self, checker: str | None = None) -> set[int]:
+        """Allocation sites with warnings (optionally for one checker)."""
+        return {
+            w.site
+            for w in self.warnings
+            if checker is None or w.checker == checker
+        }
+
+    def __len__(self) -> int:
+        return len(self.warnings)
+
+    def summary(self) -> str:
+        """Count line followed by one description per warning."""
+        lines = [f"{len(self.warnings)} warning(s)"]
+        lines.extend(w.describe() for w in self.warnings)
+        return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Socket-usage checker (paper §5 and Figures 1/2: ServerSocketChannel).
+
+Mirrors the paper's Figure 2 FSM: a channel opens on allocation, binds,
+optionally configures and accepts, and must be closed; using a closed
+channel is an error, and reaching program exit unclosed is the socket leak
+the paper reports in ZooKeeper's ``reconfigure``.
+"""
+
+from repro.checkers.fsm import FSM, make_fsm
+
+SOCKET_TYPES = ("Socket", "ServerSocket", "ServerSocketChannel", "SocketChannel")
+
+
+def socket_checker() -> FSM:
+    """The socket/channel FSM (paper Figure 2)."""
+    return make_fsm(
+        name="socket",
+        types=SOCKET_TYPES,
+        initial="Open",
+        transitions={
+            ("Open", "bind"): "Bound",
+            ("Open", "connect"): "Connected",
+            ("Bound", "configureBlocking"): "Bound",
+            ("Bound", "accept"): "Bound",
+            ("Connected", "send"): "Connected",
+            ("Connected", "recv"): "Connected",
+            ("Open", "close"): "Closed",
+            ("Bound", "close"): "Closed",
+            ("Connected", "close"): "Closed",
+            ("Closed", "close"): "Closed",
+            ("Closed", "accept"): "Error",
+            ("Closed", "send"): "Error",
+            ("Closed", "recv"): "Error",
+            ("Closed", "bind"): "Error",
+            ("Closed", "connect"): "Error",
+        },
+        accepting={"Closed"},
+        error_states={"Error"},
+    )

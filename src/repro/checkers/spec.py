@@ -1,0 +1,118 @@
+"""Text format for FSM property specifications.
+
+The paper's workflow: "it took one developer one day to read the related
+API information to acquire these FSMs" -- users write FSMs, Grapple checks
+them.  This module gives FSMs a plain-text surface so checkers can be
+specified without writing Python::
+
+    fsm io
+    types FileWriter FileReader
+    initial Open
+    accepting Closed
+    error Error
+
+    Open   -write->  Open
+    Open   -close->  Closed
+    Closed -write->  Error
+    Closed -close->  Closed
+
+Blank lines and ``#`` comments are ignored.  A file may contain several
+``fsm`` blocks.
+"""
+
+from __future__ import annotations
+
+from repro.checkers.fsm import FSM, FsmError, make_fsm
+
+
+class SpecError(ValueError):
+    """Raised on a malformed FSM specification."""
+
+
+def parse_fsm_specs(text: str) -> list[FSM]:
+    """Parse one or more FSM blocks from spec text."""
+    fsms: list[FSM] = []
+    block: dict | None = None
+
+    def finish() -> None:
+        nonlocal block
+        if block is None:
+            return
+        for required in ("name", "types", "initial", "accepting"):
+            if not block.get(required):
+                raise SpecError(
+                    f"fsm {block.get('name', '?')!r}: missing {required!r}"
+                )
+        try:
+            fsms.append(
+                make_fsm(
+                    name=block["name"],
+                    types=block["types"],
+                    initial=block["initial"],
+                    transitions=block["transitions"],
+                    accepting=block["accepting"],
+                    error_states=block["errors"],
+                )
+            )
+        except FsmError as error:
+            raise SpecError(str(error)) from error
+        block = None
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        words = line.split()
+        keyword = words[0]
+        if keyword == "fsm":
+            finish()
+            if len(words) != 2:
+                raise SpecError(f"line {lineno}: 'fsm' takes exactly one name")
+            block = {
+                "name": words[1],
+                "types": [],
+                "initial": None,
+                "accepting": [],
+                "errors": [],
+                "transitions": {},
+            }
+            continue
+        if block is None:
+            raise SpecError(f"line {lineno}: content before any 'fsm' block")
+        if keyword == "types":
+            block["types"].extend(words[1:])
+        elif keyword == "initial":
+            if len(words) != 2:
+                raise SpecError(f"line {lineno}: 'initial' takes one state")
+            block["initial"] = words[1]
+        elif keyword == "accepting":
+            block["accepting"].extend(words[1:])
+        elif keyword == "error":
+            block["errors"].extend(words[1:])
+        else:
+            block["transitions"].update(_parse_transition(line, lineno))
+    finish()
+    if not fsms:
+        raise SpecError("no fsm blocks found")
+    return fsms
+
+
+def _parse_transition(line: str, lineno: int) -> dict:
+    """``State -event-> State`` lines."""
+    parts = line.split()
+    if len(parts) != 3 or not (
+        parts[1].startswith("-") and parts[1].endswith("->")
+    ):
+        raise SpecError(
+            f"line {lineno}: expected 'State -event-> State', got {line!r}"
+        )
+    event = parts[1][1:-2]
+    if not event:
+        raise SpecError(f"line {lineno}: empty event name")
+    return {(parts[0], event): parts[2]}
+
+
+def load_fsm_specs(path: str) -> list[FSM]:
+    """Parse FSM specs from a file."""
+    with open(path) as f:
+        return parse_fsm_specs(f.read())

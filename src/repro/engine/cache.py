@@ -1,0 +1,52 @@
+"""LRU constraint-memoisation cache (paper §4.3, Table 4).
+
+Edges in the same program scope share path constraints, so memoising the
+result of constraint solving -- keyed by the encoded path -- converts most
+feasibility checks into hash-map lookups.  The implementation keeps an
+``OrderedDict`` of encoding keys, moving hits to the back and evicting from
+the front when capacity is exceeded ("least used keys are moved away").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class LRUCache:
+    """A bounded least-recently-used map."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._data: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        """The cached value, or None.  Counts hit/miss statistics."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        if len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0

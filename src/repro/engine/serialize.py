@@ -1,0 +1,186 @@
+"""Binary on-disk format for edge partitions.
+
+Grapple inlines variable-sized interval sequences directly into per-edge
+storage (paper §4.3) rather than keeping pointer-linked objects; this
+module does the same for the Python engine.  A partition file is:
+
+    MAGIC "GRPL" | version u8
+    string table: varint count, then per string varint length + utf-8 bytes
+    varint number of source vertices
+    per source: varint src, varint n_targets
+        per target: varint dst, varint label_id, varint n_encodings
+            per encoding: varint n_elements, then elements
+    element: tag u8 (0 = interval, 1 = call, 2 = return)
+        interval: varint func_index, varint start, varint end
+        call/return: varint id
+
+All integers are unsigned LEB128 varints.
+"""
+
+from __future__ import annotations
+
+import io
+
+MAGIC = b"GRPL"
+VERSION = 1
+
+_TAG_INTERVAL = 0
+_TAG_CALL = 1
+_TAG_RETURN = 2
+_TAG_STRING = 3  # string-constraint baseline payloads (Table 5)
+
+
+def write_varint(out: io.BytesIO, value: int) -> None:
+    if value < 0:
+        raise ValueError("varints are unsigned")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.write(bytes((byte | 0x80,)))
+        else:
+            out.write(bytes((byte,)))
+            return
+
+
+def read_varint(data: bytes, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def encode_partition(edges: dict) -> bytes:
+    """Serialise ``{src: {(dst, label_id): set[encoding]}}`` to bytes."""
+    strings: dict[str, int] = {}
+
+    def intern(name: str) -> int:
+        index = strings.get(name)
+        if index is None:
+            index = len(strings)
+            strings[name] = index
+        return index
+
+    body = io.BytesIO()
+    write_varint(body, len(edges))
+    for src in sorted(edges):
+        targets = edges[src]
+        write_varint(body, src)
+        write_varint(body, len(targets))
+        for (dst, label_id) in sorted(targets):
+            encodings = targets[(dst, label_id)]
+            write_varint(body, dst)
+            write_varint(body, label_id)
+            write_varint(body, len(encodings))
+            for encoding in sorted(encodings):
+                _write_encoding(body, encoding, intern)
+
+    out = io.BytesIO()
+    out.write(MAGIC)
+    out.write(bytes((VERSION,)))
+    write_varint(out, len(strings))
+    for name in strings:  # insertion order == index order
+        raw = name.encode("utf-8")
+        write_varint(out, len(raw))
+        out.write(raw)
+    out.write(body.getvalue())
+    return out.getvalue()
+
+
+def _write_encoding(out: io.BytesIO, encoding: tuple, intern) -> None:
+    write_varint(out, len(encoding))
+    for elem in encoding:
+        if elem[0] == "I":
+            out.write(bytes((_TAG_INTERVAL,)))
+            write_varint(out, intern(elem[1]))
+            write_varint(out, elem[2])
+            write_varint(out, elem[3])
+        elif elem[0] == "C":
+            out.write(bytes((_TAG_CALL,)))
+            write_varint(out, elem[1])
+        elif elem[0] == "R":
+            out.write(bytes((_TAG_RETURN,)))
+            write_varint(out, elem[1])
+        elif elem[0] == "S":
+            raw = elem[1].encode("utf-8")
+            out.write(bytes((_TAG_STRING,)))
+            write_varint(out, len(raw))
+            out.write(raw)
+        else:
+            raise ValueError(f"unknown encoding element {elem!r}")
+
+
+def decode_partition(data: bytes) -> dict:
+    """Inverse of :func:`encode_partition`."""
+    if data[:4] != MAGIC:
+        raise ValueError("bad partition file magic")
+    if data[4] != VERSION:
+        raise ValueError(f"unsupported partition version {data[4]}")
+    pos = 5
+    n_strings, pos = read_varint(data, pos)
+    strings: list[str] = []
+    for _ in range(n_strings):
+        length, pos = read_varint(data, pos)
+        strings.append(data[pos : pos + length].decode("utf-8"))
+        pos += length
+
+    edges: dict = {}
+    n_sources, pos = read_varint(data, pos)
+    for _ in range(n_sources):
+        src, pos = read_varint(data, pos)
+        n_targets, pos = read_varint(data, pos)
+        targets: dict = {}
+        for _ in range(n_targets):
+            dst, pos = read_varint(data, pos)
+            label_id, pos = read_varint(data, pos)
+            n_encodings, pos = read_varint(data, pos)
+            encodings = set()
+            for _ in range(n_encodings):
+                encoding, pos = _read_encoding(data, pos, strings)
+                encodings.add(encoding)
+            targets[(dst, label_id)] = encodings
+        edges[src] = targets
+    return edges
+
+
+def _read_encoding(data: bytes, pos: int, strings: list[str]):
+    n_elements, pos = read_varint(data, pos)
+    elems = []
+    for _ in range(n_elements):
+        tag = data[pos]
+        pos += 1
+        if tag == _TAG_INTERVAL:
+            func_index, pos = read_varint(data, pos)
+            start, pos = read_varint(data, pos)
+            end, pos = read_varint(data, pos)
+            elems.append(("I", strings[func_index], start, end))
+        elif tag == _TAG_CALL:
+            cid, pos = read_varint(data, pos)
+            elems.append(("C", cid))
+        elif tag == _TAG_RETURN:
+            rid, pos = read_varint(data, pos)
+            elems.append(("R", rid))
+        elif tag == _TAG_STRING:
+            length, pos = read_varint(data, pos)
+            elems.append(("S", data[pos : pos + length].decode("utf-8")))
+            pos += length
+        else:
+            raise ValueError(f"unknown element tag {tag}")
+    return tuple(elems), pos
+
+
+def estimate_edge_bytes(encoding: tuple) -> int:
+    """Rough in-memory size of one edge with the given encoding, used for
+    the engine's memory-budget accounting."""
+    size = 48
+    for elem in encoding:
+        if elem[0] == "S":
+            size += 64 + len(elem[1])
+        else:
+            size += 16
+    return size

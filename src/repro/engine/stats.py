@@ -1,0 +1,94 @@
+"""Performance accounting for the engine.
+
+The paper's Figure 9 breaks an execution into four components -- I/O,
+constraint encoding/decoding (lookup), SMT solving, and in-memory edge-pair
+computation -- summed across all processing threads.  :class:`EngineStats`
+collects exactly those, plus the counters behind Tables 3-5.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EngineStats:
+    io_time: float = 0.0
+    encode_time: float = 0.0
+    smt_time: float = 0.0
+    compute_time: float = 0.0
+    preprocess_time: float = 0.0
+    # Total time inside feasibility queries (decode + solve); this is the
+    # quantity Table 4 compares with and without memoisation.  It overlaps
+    # encode_time/smt_time and is excluded from the Figure 9 breakdown.
+    feasibility_time: float = 0.0
+
+    iterations: int = 0
+    pairs_processed: int = 0
+    edges_before: int = 0
+    edges_after: int = 0
+    vertices: int = 0
+    new_edges: int = 0
+    compositions_tried: int = 0
+    constraints_solved: int = 0  # actual solver invocations (cache misses)
+    constraint_queries: int = 0  # all feasibility queries
+    cache_hits: int = 0
+    infeasible_dropped: int = 0
+    encoding_overflow_dropped: int = 0
+    repartitions: int = 0
+    final_partitions: int = 0
+    timed_out: bool = False
+
+    @contextmanager
+    def timing(self, component: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            setattr(self, component, getattr(self, component) + elapsed)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        if self.constraint_queries == 0:
+            return 0.0
+        return self.cache_hits / self.constraint_queries
+
+    @property
+    def total_time(self) -> float:
+        return (
+            self.io_time + self.encode_time + self.smt_time + self.compute_time
+        )
+
+    def breakdown(self) -> dict[str, float]:
+        """Fractions of total time per component (Figure 9's series)."""
+        total = self.total_time
+        if total == 0:
+            return {"io": 0.0, "encode": 0.0, "smt": 0.0, "compute": 0.0}
+        return {
+            "io": self.io_time / total,
+            "encode": self.encode_time / total,
+            "smt": self.smt_time / total,
+            "compute": self.compute_time / total,
+        }
+
+    def merge(self, other: "EngineStats") -> None:
+        """Fold a worker's stats into this one (times sum across threads)."""
+        for name in (
+            "io_time",
+            "encode_time",
+            "smt_time",
+            "compute_time",
+            "feasibility_time",
+            "pairs_processed",
+            "new_edges",
+            "compositions_tried",
+            "constraints_solved",
+            "constraint_queries",
+            "cache_hits",
+            "infeasible_dropped",
+            "encoding_overflow_dropped",
+        ):
+            setattr(self, name, getattr(self, name) + getattr(other, name))

@@ -1,0 +1,60 @@
+"""Grammar interface consumed by the graph engine.
+
+The engine checks each pair of consecutive edges (paper §4.2): labels must
+compose under the grammar *and* the conjunction of the edges' path
+constraints must be satisfiable.  The grammar sees raw label tuples; the
+engine handles interning, encodings and constraint checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+
+@dataclass
+class ComposeContext:
+    """Facilities the engine exposes to grammar UDFs during composition.
+
+    ``feasible(encodings)`` checks the conjunction of the constraints of
+    several path encodings (memoised); ``vertex(v)`` resolves a vertex id
+    back to its key tuple.
+    """
+
+    feasible: Callable[[tuple], bool]
+    vertex: Callable[[int], tuple]
+
+
+class Grammar:
+    """Base grammar: table-driven binary rules plus derivation hooks."""
+
+    #: labels the analysis reports as results (e.g. ``("alias",)``)
+    output_labels: frozenset = frozenset()
+
+    def derived(self, label: tuple) -> Iterable[tuple[tuple, bool]]:
+        """Labels derived from a newly inserted edge.
+
+        Yields ``(new_label, reverse)`` pairs; ``reverse`` means the derived
+        edge runs dst -> src with the reversed encoding.
+        """
+        return ()
+
+    def compose(self, edge1, edge2, ctx: ComposeContext):
+        """Transitive labels for consecutive edges ``edge1 . edge2``.
+
+        Each edge is ``(src, dst, label, encoding)`` with the label as a raw
+        tuple.  Returns an iterable of label tuples.
+        """
+        raise NotImplementedError
+
+    def relevant_source(self, label: tuple) -> bool:
+        """Whether edges with this label can be the *left* edge of a pair.
+
+        Lets the engine skip pairs that can never compose (a big constant-
+        factor saving).
+        """
+        return True
+
+    def relevant_target(self, label: tuple) -> bool:
+        """Whether edges with this label can be the *right* edge of a pair."""
+        return True

@@ -1,0 +1,17 @@
+"""Program-graph generation: vertices, labelled edges with path encodings,
+binary serialisation, and the cloning-based context-sensitive generators
+for the alias and dataflow analyses (paper §4.1)."""
+
+from repro.graph.model import VertexTable, LabelTable, ProgramGraph
+from repro.graph.alias_graph import build_alias_graph, AliasGraphResult
+from repro.graph.dataflow_graph import build_dataflow_graph, DataflowGraphResult
+
+__all__ = [
+    "VertexTable",
+    "LabelTable",
+    "ProgramGraph",
+    "build_alias_graph",
+    "AliasGraphResult",
+    "build_dataflow_graph",
+    "DataflowGraphResult",
+]

@@ -1,0 +1,360 @@
+"""Alias-analysis program-graph generator (paper §4.1, Figure 4/5b).
+
+For every clone, every CFET node contributes:
+
+* a ``new`` edge from the allocation-site vertex to the LHS variable,
+* ``assign`` edges for variable copies,
+* ``store[f]``/``load[f]`` edges for heap accesses,
+* artificial ``assign`` edges connecting a variable's occurrence in an
+  ancestor node to its next occurrence below (encoding ``[a, n]``),
+* ``assign`` parameter-passing edges into callee clones (encoding ``{cid}``)
+  and value-return edges back (encoding ``{rid}``), plus exceptional
+  value-return edges realising :class:`repro.lang.ast.ExcLink`.
+
+Every initial edge carries a single-element path encoding as described in
+§4.1; transitive edges computed later by the engine get merged encodings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang import ast
+from repro.lang.callgraph import CallGraph
+from repro.lang.transform import EXC_REGISTER
+from repro.lang.types import ObjectInfo
+from repro.cfet.cfet import Cfet, parent_id
+from repro.cfet.icfet import Icfet
+from repro.cfet import encoding as enc
+from repro.graph.cloning import CloneForest, Clone
+from repro.graph.model import ProgramGraph
+
+NEW = ("new",)
+ASSIGN = ("assign",)
+
+
+def store_label(fieldname: str) -> tuple:
+    """Label of a field-store edge ``x.f = y``."""
+    return ("store", fieldname)
+
+
+def load_label(fieldname: str) -> tuple:
+    """Label of a field-load edge ``x = y.f``."""
+    return ("load", fieldname)
+
+
+@dataclass(frozen=True, slots=True)
+class EventOccurrence:
+    """One ``x.m()`` statement occurrence in one clone."""
+
+    clone_key: tuple
+    node_id: int
+    stmt_index: int
+    base: str
+    method: str
+    base_vertex: int
+
+
+@dataclass(frozen=True, slots=True)
+class TrackedObject:
+    """An allocation-site instance of a type with an FSM specification."""
+
+    vertex: int
+    site: int
+    type_name: str
+    clone_key: tuple
+    node_id: int
+    line: int
+
+
+@dataclass
+class AliasGraphResult:
+    """The generated alias graph plus tracked objects and event sites."""
+
+    graph: ProgramGraph
+    forest: CloneForest
+    tracked: list[TrackedObject] = field(default_factory=list)
+    events: list[EventOccurrence] = field(default_factory=list)
+
+
+def build_alias_graph(
+    program: ast.Program,
+    icfet: Icfet,
+    callgraph: CallGraph,
+    info: ObjectInfo,
+    forest: CloneForest,
+    tracked_types: set[str] | None = None,
+) -> AliasGraphResult:
+    """Generate the cloned, path-encoded alias program graph."""
+    builder = _AliasBuilder(program, icfet, info, forest, tracked_types)
+    builder.run()
+    return builder.result
+
+
+class _AliasBuilder:
+    def __init__(self, program, icfet, info, forest, tracked_types):
+        self.program = program
+        self.icfet = icfet
+        self.info = info
+        self.forest = forest
+        self.tracked_types = tracked_types
+        self.result = AliasGraphResult(ProgramGraph(), forest)
+        # clone key -> {var -> sorted set of node ids with an occurrence}
+        self.occurrences: dict = {}
+        # clone key -> list of (node_id, ExcLink statement)
+        self.exclinks: dict = {}
+
+    # -- vertex helpers ----------------------------------------------------
+
+    def var_vertex(self, clone_key, var: str, node_id: int) -> int:
+        """Vertex id of one variable occurrence in one clone's node."""
+        ctx, func = clone_key
+        return self.result.graph.vertices.intern(
+            ("var", ctx, func, var, node_id)
+        )
+
+    def obj_vertex(self, site: int, clone_key, node_id: int) -> int:
+        """Vertex id of one allocation-site instance."""
+        ctx, func = clone_key
+        return self.result.graph.vertices.intern(
+            ("obj", site, ctx, func, node_id)
+        )
+
+    # -- main driver ---------------------------------------------------------
+
+    def run(self) -> None:
+        """Generate all edges: per-clone local, interprocedural, artificial."""
+        for key in self.forest.clones:
+            self._build_clone_local(key)
+        # Call edges register occurrences (formals, return LHS), so they
+        # must run before the artificial-edge pass links occurrences.
+        for clone in self.forest.clones.values():
+            self._build_call_edges(clone)
+        for key in self.forest.clones:
+            self._build_artificial_edges(key)
+
+    def _objects(self, func: str) -> set:
+        return self.info.object_vars.get(func, set())
+
+    def _occur(self, clone_key, var: str, node_id: int) -> None:
+        per_var = self.occurrences.setdefault(clone_key, {})
+        per_var.setdefault(var, set()).add(node_id)
+
+    # -- per-clone local edges ---------------------------------------------
+
+    def _build_clone_local(self, clone_key) -> None:
+        ctx, func = clone_key
+        cfet = self.icfet.cfets.get(func)
+        if cfet is None:
+            return
+        objects = self._objects(func)
+        fn = self.program.functions[func]
+        for param in fn.params:
+            if param in objects:
+                self._occur(clone_key, param, 0)
+        for node in cfet.nodes.values():
+            self._build_node(clone_key, func, node, objects)
+            if node.is_leaf:
+                if node.return_var is not None and node.return_var in objects:
+                    self._occur(clone_key, node.return_var, node.node_id)
+                if EXC_REGISTER in objects:
+                    self._occur(clone_key, EXC_REGISTER, node.node_id)
+
+    def _build_node(self, clone_key, func, node, objects) -> None:
+        graph = self.result.graph
+        here = enc.single(func, node.node_id)
+        for index, stmt in enumerate(node.statements):
+            if isinstance(stmt, ast.Assign):
+                self._build_assign(clone_key, func, node, stmt, objects, here)
+            elif isinstance(stmt, ast.FieldStore):
+                if stmt.base in objects and stmt.value in objects:
+                    self._occur(clone_key, stmt.base, node.node_id)
+                    self._occur(clone_key, stmt.value, node.node_id)
+                    graph.add_edge(
+                        self.var_vertex(clone_key, stmt.value, node.node_id),
+                        self.var_vertex(clone_key, stmt.base, node.node_id),
+                        store_label(stmt.fieldname),
+                        here,
+                    )
+            elif isinstance(stmt, ast.Event):
+                if stmt.base in objects:
+                    self._occur(clone_key, stmt.base, node.node_id)
+                    self.result.events.append(
+                        EventOccurrence(
+                            clone_key,
+                            node.node_id,
+                            index,
+                            stmt.base,
+                            stmt.method,
+                            self.var_vertex(clone_key, stmt.base, node.node_id),
+                        )
+                    )
+            elif isinstance(stmt, ast.ExcLink):
+                self._occur(clone_key, stmt.target, node.node_id)
+                self.exclinks.setdefault(clone_key, []).append(
+                    (node.node_id, stmt)
+                )
+
+    def _build_assign(self, clone_key, func, node, stmt, objects, here):
+        graph = self.result.graph
+        target, value = stmt.target, stmt.value
+        if isinstance(value, ast.New):
+            if target not in objects:
+                return
+            self._occur(clone_key, target, node.node_id)
+            obj = self.obj_vertex(value.site, clone_key, node.node_id)
+            graph.add_edge(
+                obj,
+                self.var_vertex(clone_key, target, node.node_id),
+                NEW,
+                here,
+            )
+            if self.tracked_types is None or value.type_name in self.tracked_types:
+                self.result.tracked.append(
+                    TrackedObject(
+                        obj, value.site, value.type_name, clone_key,
+                        node.node_id, stmt.line,
+                    )
+                )
+        elif isinstance(value, ast.VarRef):
+            if target in objects and value.name in objects:
+                self._occur(clone_key, target, node.node_id)
+                self._occur(clone_key, value.name, node.node_id)
+                graph.add_edge(
+                    self.var_vertex(clone_key, value.name, node.node_id),
+                    self.var_vertex(clone_key, target, node.node_id),
+                    ASSIGN,
+                    here,
+                )
+        elif isinstance(value, ast.FieldLoad):
+            if target in objects and value.base in objects:
+                self._occur(clone_key, target, node.node_id)
+                self._occur(clone_key, value.base, node.node_id)
+                graph.add_edge(
+                    self.var_vertex(clone_key, value.base, node.node_id),
+                    self.var_vertex(clone_key, target, node.node_id),
+                    load_label(value.fieldname),
+                    here,
+                )
+        elif isinstance(value, ast.NullLit):
+            # No edge (null carries no object), but the occurrence exists:
+            # Figure 5b's out0 comes from `out = null` in block 0.
+            if target in objects:
+                self._occur(clone_key, target, node.node_id)
+        elif isinstance(value, ast.Call):
+            # Return-value edges are added during call processing; here we
+            # only register the occurrence of an object-typed LHS.
+            if target in objects:
+                self._occur(clone_key, target, node.node_id)
+
+    # -- artificial assign edges ---------------------------------------------
+
+    def _build_artificial_edges(self, clone_key) -> None:
+        ctx, func = clone_key
+        per_var = self.occurrences.get(clone_key)
+        if not per_var:
+            return
+        cfet = self.icfet.cfets[func]
+        graph = self.result.graph
+        for var, nodes in per_var.items():
+            if len(nodes) < 2:
+                continue
+            for node_id in nodes:
+                ancestor = self._nearest_ancestor(node_id, nodes)
+                if ancestor is None:
+                    continue
+                graph.add_edge(
+                    self.var_vertex(clone_key, var, ancestor),
+                    self.var_vertex(clone_key, var, node_id),
+                    ASSIGN,
+                    (enc.interval(func, ancestor, node_id),),
+                )
+
+    @staticmethod
+    def _nearest_ancestor(node_id: int, nodes: set) -> int | None:
+        current = node_id
+        while current != 0:
+            current = parent_id(current)
+            if current in nodes:
+                return current
+        return None
+
+    # -- interprocedural edges -----------------------------------------------
+
+    def _build_call_edges(self, clone: Clone) -> None:
+        graph = self.result.graph
+        caller_key = clone.key
+        records_by_site: dict = {}
+        for record, child_key in clone.calls:
+            records_by_site.setdefault(record.call.site, []).append(
+                (record, child_key)
+            )
+            if child_key is None:
+                continue
+            callee = self.program.functions[record.callee]
+            callee_objects = self._objects(record.callee)
+            caller_objects = self._objects(clone.func)
+            # Parameter-passing edges (object actuals only).
+            for formal, actual in zip(callee.params, record.call.args):
+                if (
+                    isinstance(actual, ast.VarRef)
+                    and actual.name in caller_objects
+                    and formal in callee_objects
+                ):
+                    self._occur(caller_key, actual.name, record.node_id)
+                    self._occur(child_key, formal, 0)
+                    graph.add_edge(
+                        self.var_vertex(caller_key, actual.name, record.node_id),
+                        self.var_vertex(child_key, formal, 0),
+                        ASSIGN,
+                        (enc.call_elem(record.cid),),
+                    )
+            # Value-return edges.
+            if record.lhs is not None and record.lhs in caller_objects:
+                self._occur(caller_key, record.lhs, record.node_id)
+                for leaf in self.icfet.cfets[record.callee].leaves:
+                    if leaf.return_var is None:
+                        continue
+                    if leaf.return_var not in callee_objects:
+                        continue
+                    graph.add_edge(
+                        self.var_vertex(child_key, leaf.return_var, leaf.node_id),
+                        self.var_vertex(caller_key, record.lhs, record.node_id),
+                        ASSIGN,
+                        (enc.return_elem(record.rid),),
+                    )
+        self._build_exclink_edges(clone, records_by_site)
+
+    def _build_exclink_edges(self, clone: Clone, records_by_site) -> None:
+        graph = self.result.graph
+        caller_key = clone.key
+        cfet = self.icfet.cfets[clone.func]
+        for node_id, stmt in self.exclinks.get(caller_key, ()):
+            match = self._matching_record(
+                records_by_site.get(stmt.call_site, ()), node_id, cfet
+            )
+            if match is None:
+                continue
+            record, child_key = match
+            if child_key is None:
+                continue
+            if EXC_REGISTER not in self._objects(record.callee):
+                continue
+            for leaf in self.icfet.cfets[record.callee].leaves:
+                graph.add_edge(
+                    self.var_vertex(child_key, EXC_REGISTER, leaf.node_id),
+                    self.var_vertex(caller_key, stmt.target, node_id),
+                    ASSIGN,
+                    (enc.return_elem(record.rid),),
+                )
+
+    @staticmethod
+    def _matching_record(candidates, node_id: int, cfet: Cfet):
+        """The call occurrence (same site) nearest above the ExcLink."""
+        best = None
+        for record, child_key in candidates:
+            if not cfet.is_ancestor(record.node_id, node_id):
+                continue
+            if best is None or record.node_id > best[0].node_id:
+                best = (record, child_key)
+        return best

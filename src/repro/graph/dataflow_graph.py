@@ -1,0 +1,215 @@
+"""Dataflow (typestate) program-graph generator (phase 2's input).
+
+Vertices are *program points*: ``("pt", ctx, func, node, seg)`` where a
+CFET node is split into segments at its call sites, so that events before
+a call apply before the callee's and events after it apply on return.
+Control-flow edges (label ``("cf",)``) connect:
+
+* segment ``k`` to the callee clone's entry point (encoding ``{cid}``),
+* each callee leaf's final segment back to segment ``k + 1`` (``{rid}``),
+* a node's final segment to each CFET child (encoding ``[n, child]``),
+* root-clone leaves to the synthetic exit vertex.
+
+Each cf edge carries, as static metadata, the FSM events of the segment it
+leaves -- ``(stmt_index, base_vertex, method)`` triples, where
+``base_vertex`` is the event base's vertex id *in the alias graph* so that
+phase 2 can consult phase 1's flowsTo results.
+
+Tracked objects are seeded as state edges ``obj -> (point)`` labelled with
+their FSM's initial state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang import ast
+from repro.cfet.icfet import Icfet
+from repro.cfet import encoding as enc
+from repro.checkers.fsm import FSM
+from repro.graph.alias_graph import AliasGraphResult, TrackedObject
+from repro.graph.model import ProgramGraph
+from repro.grammar.dataflow import CF, state_label
+
+EXIT_KIND = "exit"
+
+
+@dataclass
+class DataflowGraphResult:
+    """The dataflow graph plus object seeds, event metadata and exits."""
+
+    graph: ProgramGraph
+    # dataflow object vertex -> (FSM, alias-graph object vertex, TrackedObject)
+    objects: dict = field(default_factory=dict)
+    # events metadata: (src, dst) -> tuple[(stmt_index, base_vertex, method)]
+    events_meta: dict = field(default_factory=dict)
+    exit_vertices: set = field(default_factory=set)
+
+
+def build_dataflow_graph(
+    icfet: Icfet,
+    alias_result: AliasGraphResult,
+    fsms_by_type: dict[str, FSM],
+) -> DataflowGraphResult:
+    """Generate the phase-2 program graph over the clone forest."""
+    builder = _DataflowBuilder(icfet, alias_result, fsms_by_type)
+    builder.run()
+    return builder.result
+
+
+class _DataflowBuilder:
+    def __init__(self, icfet, alias_result, fsms_by_type):
+        self.icfet = icfet
+        self.alias = alias_result
+        self.fsms_by_type = fsms_by_type
+        self.result = DataflowGraphResult(ProgramGraph())
+        # (clone_key, node_id, stmt_index) -> EventOccurrence
+        self.event_at = {
+            (ev.clone_key, ev.node_id, ev.stmt_index): ev
+            for ev in alias_result.events
+        }
+        self.relevant_events = set()
+        for fsm in fsms_by_type.values():
+            self.relevant_events |= fsm.events()
+
+    # -- vertex helpers --------------------------------------------------------
+
+    def pt(self, clone_key, node_id: int, seg: int) -> int:
+        """Vertex id of one program point (node segment) in one clone."""
+        ctx, func = clone_key
+        return self.result.graph.vertices.intern(("pt", ctx, func, node_id, seg))
+
+    def exit_vertex(self, clone_key) -> int:
+        """The synthetic program-exit vertex of one root clone."""
+        ctx, func = clone_key
+        vid = self.result.graph.vertices.intern((EXIT_KIND, ctx, func))
+        self.result.exit_vertices.add(vid)
+        return vid
+
+    # -- driver -------------------------------------------------------------------
+
+    def run(self) -> None:
+        """Build cf edges for every clone, then seed the tracked objects."""
+        root_keys = set(self.alias.forest.roots)
+        for clone_key, clone in self.alias.forest.clones.items():
+            self._build_clone(clone_key, clone, is_root=clone_key in root_keys)
+        self._seed_objects()
+
+    def _build_clone(self, clone_key, clone, is_root: bool) -> None:
+        ctx, func = clone_key
+        cfet = self.icfet.cfets.get(func)
+        if cfet is None:
+            return
+        child_of = {record.cid: child for record, child in clone.calls}
+        for node in cfet.nodes.values():
+            segments = self._segments(clone_key, node)
+            calls = sorted(node.calls, key=lambda r: r.stmt_index)
+            # Intra-node: segment k ends at call k (if one exists).
+            for k, record in enumerate(calls):
+                child_key = child_of.get(record.cid)
+                src = self.pt(clone_key, node.node_id, k)
+                if child_key is None:
+                    # Extern or depth-capped callee: step over the call.
+                    self._add_cf(
+                        src,
+                        self.pt(clone_key, node.node_id, k + 1),
+                        enc.single(func, node.node_id),
+                        segments[k],
+                    )
+                    continue
+                callee_cfet = self.icfet.cfets[record.callee]
+                self._add_cf(
+                    src,
+                    self.pt(child_key, 0, 0),
+                    (enc.call_elem(record.cid),),
+                    segments[k],
+                )
+                for leaf in callee_cfet.leaves:
+                    leaf_calls = len(leaf.calls)
+                    leaf_segments = self._segments(child_key, leaf)
+                    self._add_cf(
+                        self.pt(child_key, leaf.node_id, leaf_calls),
+                        self.pt(clone_key, node.node_id, k + 1),
+                        (enc.return_elem(record.rid),),
+                        leaf_segments[leaf_calls],
+                    )
+            last_seg = len(calls)
+            src = self.pt(clone_key, node.node_id, last_seg)
+            if node.is_leaf:
+                if is_root:
+                    self._add_cf(
+                        src,
+                        self.exit_vertex(clone_key),
+                        enc.single(func, node.node_id),
+                        segments[last_seg],
+                    )
+                continue
+            for child_id in (2 * node.node_id + 1, 2 * node.node_id + 2):
+                if child_id in cfet.nodes:
+                    self._add_cf(
+                        src,
+                        self.pt(clone_key, child_id, 0),
+                        (enc.interval(func, node.node_id, child_id),),
+                        segments[last_seg],
+                    )
+
+    def _segments(self, clone_key, node) -> list[tuple]:
+        """Relevant events per segment of one node occurrence."""
+        boundaries = sorted(record.stmt_index for record in node.calls)
+        segments: list[list] = [[] for _ in range(len(boundaries) + 1)]
+        for index, stmt in enumerate(node.statements):
+            if not isinstance(stmt, ast.Event):
+                continue
+            if stmt.method not in self.relevant_events:
+                continue
+            occurrence = self.event_at.get((clone_key, node.node_id, index))
+            if occurrence is None:
+                continue
+            seg = sum(1 for b in boundaries if b < index)
+            segments[seg].append((index, occurrence.base_vertex, stmt.method))
+        return [tuple(events) for events in segments]
+
+    def _add_cf(self, src: int, dst: int, encoding, events) -> None:
+        self.result.graph.add_edge(src, dst, CF, encoding)
+        if events:
+            existing = self.result.events_meta.get((src, dst), ())
+            if existing:
+                merged = tuple(sorted(set(existing) | set(events)))
+            else:
+                merged = tuple(sorted(events))
+            self.result.events_meta[(src, dst)] = merged
+
+    def _seed_objects(self) -> None:
+        for tracked in self.alias.tracked:
+            fsm = self.fsms_by_type.get(tracked.type_name)
+            if fsm is None:
+                continue
+            ctx, func = tracked.clone_key
+            cfet = self.icfet.cfets[func]
+            node = cfet.nodes[tracked.node_id]
+            seg = self._segment_of_new(node, tracked.site)
+            obj_vid = self.result.graph.vertices.intern(
+                ("obj", tracked.site, ctx, func, tracked.node_id)
+            )
+            self.result.objects[obj_vid] = (fsm, tracked.vertex, tracked)
+            # The seed's encoding spans from the CFET root down to the
+            # allocation node, so the branch conditions that guard the
+            # allocation itself constrain every downstream state fact.
+            self.result.graph.add_edge(
+                obj_vid,
+                self.pt(tracked.clone_key, tracked.node_id, seg),
+                state_label(fsm.name, fsm.initial),
+                (enc.interval(func, 0, tracked.node_id),),
+            )
+
+    @staticmethod
+    def _segment_of_new(node, site: int) -> int:
+        boundaries = sorted(record.stmt_index for record in node.calls)
+        for index, stmt in enumerate(node.statements):
+            if (
+                isinstance(stmt, ast.Assign)
+                and isinstance(stmt.value, ast.New)
+                and stmt.value.site == site
+            ):
+                return sum(1 for b in boundaries if b < index)
+        return 0

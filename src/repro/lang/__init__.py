@@ -1,0 +1,32 @@
+"""Mini-language frontend: the substitute for the paper's Java/Soot frontend.
+
+The analyses only consume the four statement forms of the paper's Figure 4
+(allocation, assignment, field store, field load) plus control flow, calls
+and method-call *events*.  This package provides a small imperative language
+with exactly those constructs -- including ``while`` loops (statically
+unrolled), ``try``/``catch``/``throw`` (lowered to explicit branches) -- a
+lexer, a recursive-descent parser, AST transformation passes, a basic-block
+CFG builder and a call graph.
+"""
+
+from repro.lang.ast import Program, Function
+from repro.lang.parser import parse_program, ParseError
+from repro.lang.lexer import LexError
+from repro.lang.transform import unroll_loops, lower_exceptions
+from repro.lang.cfg import build_cfg, ControlFlowGraph, BasicBlock
+from repro.lang.callgraph import CallGraph, build_call_graph
+
+__all__ = [
+    "Program",
+    "Function",
+    "parse_program",
+    "ParseError",
+    "LexError",
+    "unroll_loops",
+    "lower_exceptions",
+    "build_cfg",
+    "ControlFlowGraph",
+    "BasicBlock",
+    "CallGraph",
+    "build_call_graph",
+]

@@ -1,0 +1,240 @@
+"""AST node definitions for the mini-language.
+
+Surface statements include ``while``, ``try``/``catch`` and ``throw``;
+the transformation passes in :mod:`repro.lang.transform` remove them so
+that downstream consumers (CFG, CFET, graph generators) only ever see the
+*core* statements: assignments, calls, events, ``if``/``else`` and
+``return``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# -- expressions -----------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class IntLit:
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class BoolLit:
+    value: bool
+
+
+@dataclass(frozen=True, slots=True)
+class NullLit:
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class VarRef:
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class FieldLoad:
+    base: str
+    fieldname: str
+
+
+@dataclass(frozen=True, slots=True)
+class New:
+    """Object allocation ``new TypeName()``; the allocation site id is
+    assigned by the parser and is unique program-wide."""
+
+    type_name: str
+    site: int
+
+
+@dataclass(frozen=True, slots=True)
+class Call:
+    """Direct function call ``f(a, b)``.  Arguments are variable names or
+    literal expressions.  ``site`` is a unique call-site id assigned by the
+    parser (used to wire exceptional value-return edges)."""
+
+    func: str
+    args: tuple
+    site: int = -1
+
+
+@dataclass(frozen=True, slots=True)
+class Input:
+    """``input()`` -- an unconstrained symbolic integer (program input)."""
+
+    site: int
+
+
+@dataclass(frozen=True, slots=True)
+class ThrownFlagOf:
+    """Core expression produced by exception lowering: the value of the
+    callee's ``__thrown`` register after the call at ``call_site`` (1 when
+    an exception escaped, 0 otherwise).  The CFET builder correlates it
+    with the callee's per-leaf symbolic ``__thrown`` value via a return
+    equation, so caller-side exception branches are path-correlated with
+    the callee's actual throws."""
+
+    callee: str
+    call_site: int
+
+
+@dataclass(frozen=True, slots=True)
+class Binary:
+    op: str  # + - * < <= > >= == != && ||
+    left: object
+    right: object
+
+
+@dataclass(frozen=True, slots=True)
+class Unary:
+    op: str  # - !
+    operand: object
+
+
+Expr = (IntLit, BoolLit, NullLit, VarRef, FieldLoad, New, Call, Input, Binary, Unary)
+
+
+# -- statements ------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Assign:
+    """``x = <expr>`` or ``var x = <expr>``."""
+
+    target: str
+    value: object
+    line: int = 0
+
+
+@dataclass(slots=True)
+class FieldStore:
+    """``x.f = y``."""
+
+    base: str
+    fieldname: str
+    value: str
+    line: int = 0
+
+
+@dataclass(slots=True)
+class Event:
+    """``x.m(a, b)`` -- a method call on an object, i.e. an FSM event."""
+
+    base: str
+    method: str
+    args: tuple = ()
+    line: int = 0
+
+
+@dataclass(slots=True)
+class ExprStmt:
+    """A bare call statement ``f(a, b);``."""
+
+    call: Call
+    line: int = 0
+
+
+@dataclass(slots=True)
+class ExcLink:
+    """Core statement produced by exception lowering: ``target`` receives
+    the exception object thrown out of the callee invoked at ``call_site``.
+    The graph generators realise it as an exceptional value-return edge
+    from the callee clone's ``__exc`` variable."""
+
+    target: str
+    callee: str
+    call_site: int
+    line: int = 0
+
+
+@dataclass(slots=True)
+class If:
+    cond: object
+    then_body: list
+    else_body: list
+    line: int = 0
+
+
+@dataclass(slots=True)
+class While:
+    cond: object
+    body: list
+    line: int = 0
+
+
+@dataclass(slots=True)
+class Return:
+    value: object | None = None
+    line: int = 0
+
+
+@dataclass(slots=True)
+class Throw:
+    var: str
+    line: int = 0
+
+
+@dataclass(slots=True)
+class TryCatch:
+    try_body: list
+    catch_var: str
+    catch_body: list
+    line: int = 0
+
+
+# -- declarations ----------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Function:
+    name: str
+    params: list[str]
+    body: list
+    line: int = 0
+
+    def __repr__(self) -> str:
+        return f"Function({self.name}/{len(self.params)})"
+
+
+@dataclass(slots=True)
+class Program:
+    functions: dict[str, Function] = field(default_factory=dict)
+
+    def function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise KeyError(f"no function named {name!r}") from None
+
+    @property
+    def entry(self) -> Function:
+        return self.function("main")
+
+
+def walk_statements(body: list):
+    """Yield every statement in a body, recursing into nested blocks."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, If):
+            yield from walk_statements(stmt.then_body)
+            yield from walk_statements(stmt.else_body)
+        elif isinstance(stmt, While):
+            yield from walk_statements(stmt.body)
+        elif isinstance(stmt, TryCatch):
+            yield from walk_statements(stmt.try_body)
+            yield from walk_statements(stmt.catch_body)
+
+
+def walk_expressions(stmt):
+    """Yield the expressions directly referenced by one statement."""
+    if isinstance(stmt, Assign):
+        yield stmt.value
+    elif isinstance(stmt, ExprStmt):
+        yield stmt.call
+    elif isinstance(stmt, (If, While)):
+        yield stmt.cond
+    elif isinstance(stmt, Return) and stmt.value is not None:
+        yield stmt.value

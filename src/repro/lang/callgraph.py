@@ -1,0 +1,84 @@
+"""Call graph construction and SCC condensation.
+
+The paper (§2.1) clones callee graphs bottom-up over a pre-computed call
+graph, collapsing strongly connected components (recursion) and treating
+them context-insensitively.  This module computes that structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.lang import ast
+
+
+@dataclass
+class CallGraph:
+    """Direct call edges plus the SCC condensation used for cloning."""
+
+    edges: dict[str, set[str]] = field(default_factory=dict)
+    # scc_of[f] is a frozenset of mutually recursive functions containing f.
+    scc_of: dict[str, frozenset] = field(default_factory=dict)
+    # SCCs in reverse topological order (callees before callers).
+    scc_order: list[frozenset] = field(default_factory=list)
+
+    def callees(self, func: str) -> set[str]:
+        return self.edges.get(func, set())
+
+    def is_recursive_edge(self, caller: str, callee: str) -> bool:
+        """True when the call stays inside one SCC (handled without cloning)."""
+        return self.scc_of[caller] == self.scc_of[callee]
+
+    def bottom_up_functions(self) -> list[str]:
+        """All functions, callees before callers."""
+        out: list[str] = []
+        for scc in self.scc_order:
+            out.extend(sorted(scc))
+        return out
+
+
+def call_sites(fn: ast.Function):
+    """Yield every :class:`repro.lang.ast.Call` in a function body."""
+    for stmt in ast.walk_statements(fn.body):
+        for expr in ast.walk_expressions(stmt):
+            yield from _calls_in(expr)
+
+
+def _calls_in(expr):
+    if isinstance(expr, ast.Call):
+        yield expr
+        for arg in expr.args:
+            yield from _calls_in(arg)
+    elif isinstance(expr, ast.Binary):
+        yield from _calls_in(expr.left)
+        yield from _calls_in(expr.right)
+    elif isinstance(expr, ast.Unary):
+        yield from _calls_in(expr.operand)
+
+
+def build_call_graph(program: ast.Program) -> CallGraph:
+    """Build the call graph; unknown callees are ignored (extern calls)."""
+    graph = nx.DiGraph()
+    edges: dict[str, set[str]] = {}
+    for name, fn in program.functions.items():
+        graph.add_node(name)
+        targets = edges.setdefault(name, set())
+        for call in call_sites(fn):
+            if call.func in program.functions:
+                targets.add(call.func)
+                graph.add_edge(name, call.func)
+
+    condensation = nx.condensation(graph)
+    scc_of: dict[str, frozenset] = {}
+    members: dict[int, frozenset] = {}
+    for node_id, data in condensation.nodes(data=True):
+        scc = frozenset(data["members"])
+        members[node_id] = scc
+        for func in scc:
+            scc_of[func] = scc
+    # Topological order of the condensation is callers-first; reverse it.
+    order = [members[n] for n in nx.topological_sort(condensation)]
+    order.reverse()
+    return CallGraph(edges=edges, scc_of=scc_of, scc_order=order)

@@ -1,0 +1,102 @@
+"""Basic-block control-flow graph for core (lowered) function bodies.
+
+The CFET (:mod:`repro.cfet`) is built directly from the structured AST; this
+CFG exists for the traditional baseline, for tests, and for program metrics
+(block/edge counts).  It only accepts *core* statements -- run
+:func:`repro.lang.transform.unroll_loops` and
+:func:`repro.lang.transform.lower_exceptions` first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang import ast
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line sequence of core statements."""
+
+    block_id: int
+    statements: list = field(default_factory=list)
+    # Terminator: exactly one of the following shapes.
+    branch_cond: object | None = None  # expression, when a conditional branch
+    true_target: int | None = None
+    false_target: int | None = None
+    goto_target: int | None = None
+    return_value: object | None = None
+    is_return: bool = False
+
+    @property
+    def successors(self) -> tuple[int, ...]:
+        if self.branch_cond is not None:
+            return (self.true_target, self.false_target)
+        if self.goto_target is not None:
+            return (self.goto_target,)
+        return ()
+
+
+@dataclass
+class ControlFlowGraph:
+    function: str
+    blocks: dict[int, BasicBlock] = field(default_factory=dict)
+    entry: int = 0
+
+    def new_block(self) -> BasicBlock:
+        block = BasicBlock(len(self.blocks))
+        self.blocks[block.block_id] = block
+        return block
+
+    @property
+    def exit_blocks(self) -> list[BasicBlock]:
+        return [b for b in self.blocks.values() if b.is_return]
+
+    def edge_count(self) -> int:
+        return sum(len(b.successors) for b in self.blocks.values())
+
+
+def build_cfg(fn: ast.Function) -> ControlFlowGraph:
+    """Build the basic-block CFG of a core-form function."""
+    cfg = ControlFlowGraph(fn.name)
+    entry = cfg.new_block()
+    last = _build_body(cfg, entry, fn.body)
+    if last is not None and not last.is_return:
+        last.is_return = True  # implicit return at end of function
+    return cfg
+
+
+def _build_body(cfg: ControlFlowGraph, block: BasicBlock, body: list):
+    """Append statements of ``body`` starting at ``block``.
+
+    Returns the open block control falls out of, or None if all paths
+    returned.
+    """
+    for idx, stmt in enumerate(body):
+        if isinstance(stmt, ast.Return):
+            block.is_return = True
+            block.return_value = stmt.value
+            return None
+        if isinstance(stmt, ast.If):
+            then_block = cfg.new_block()
+            else_block = cfg.new_block()
+            block.branch_cond = stmt.cond
+            block.true_target = then_block.block_id
+            block.false_target = else_block.block_id
+            then_end = _build_body(cfg, then_block, stmt.then_body)
+            else_end = _build_body(cfg, else_block, stmt.else_body)
+            rest = body[idx + 1 :]
+            if then_end is None and else_end is None:
+                return None
+            join = cfg.new_block()
+            for end in (then_end, else_end):
+                if end is not None and not end.is_return:
+                    end.goto_target = join.block_id
+            return _build_body(cfg, join, rest)
+        if isinstance(stmt, (ast.While, ast.Throw, ast.TryCatch)):
+            raise ValueError(
+                f"{type(stmt).__name__} is not a core statement; run the"
+                " transform passes first"
+            )
+        block.statements.append(stmt)
+    return block

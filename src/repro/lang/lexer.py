@@ -1,0 +1,86 @@
+"""Tokenizer for the mini-language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = {
+    "func",
+    "var",
+    "if",
+    "else",
+    "while",
+    "return",
+    "throw",
+    "try",
+    "catch",
+    "new",
+    "null",
+    "true",
+    "false",
+    "input",
+}
+
+# Multi-character operators must be matched before their prefixes.
+OPERATORS = ["==", "!=", "<=", ">=", "&&", "||", "<", ">", "=", "+", "-", "*",
+              "!", "(", ")", "{", "}", ";", ",", "."]
+
+
+class LexError(Exception):
+    """Raised on an unrecognised character."""
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str  # "ident", "int", "keyword", or the operator text itself
+    text: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.text}@{self.line}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split source text into tokens; comments run from ``//`` to newline."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            tokens.append(Token("int", source[i:j], line))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            i = j
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token(op, op, line))
+                i += len(op)
+                break
+        else:
+            raise LexError(f"line {line}: unexpected character {ch!r}")
+    tokens.append(Token("eof", "", line))
+    return tokens

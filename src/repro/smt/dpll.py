@@ -1,0 +1,134 @@
+"""A small CNF SAT solver (DPLL with unit propagation).
+
+Literals are nonzero ints (DIMACS convention): variable ``v`` is the positive
+literal ``v`` and its negation is ``-v``.  Clauses are tuples of literals.
+The solver supports incremental blocking clauses, which the lazy DPLL(T)
+loop in :mod:`repro.smt.solver` uses to enumerate boolean models.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+
+class CnfBuilder:
+    """Tseitin transformation from :class:`repro.smt.expr.Expr` trees to CNF.
+
+    Boolean atoms (theory atoms and boolean variables) are mapped to SAT
+    variables; internal gates get fresh auxiliary variables.
+    """
+
+    def __init__(self) -> None:
+        self.clauses: list[tuple[int, ...]] = []
+        self.atom_vars: dict[object, int] = {}
+        self._next_var = 1
+
+    def fresh_var(self) -> int:
+        v = self._next_var
+        self._next_var += 1
+        return v
+
+    def atom_var(self, atom: object) -> int:
+        """SAT variable standing for a (hashable) theory atom."""
+        var = self.atom_vars.get(atom)
+        if var is None:
+            var = self.fresh_var()
+            self.atom_vars[atom] = var
+        return var
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        self.clauses.append(tuple(literals))
+
+    def assert_literal(self, literal: int) -> None:
+        self.clauses.append((literal,))
+
+    @property
+    def num_vars(self) -> int:
+        return self._next_var - 1
+
+
+def solve(
+    clauses: list[tuple[int, ...]],
+    num_vars: int,
+    assumptions: Iterable[int] = (),
+) -> Optional[dict[int, bool]]:
+    """Return a satisfying assignment ``{var: bool}`` or None if UNSAT."""
+    assignment: dict[int, bool] = {}
+    for lit in assumptions:
+        var, val = abs(lit), lit > 0
+        if assignment.get(var, val) != val:
+            return None
+        assignment[var] = val
+
+    trail: list[tuple[int, bool]] = []  # (var, is_decision)
+
+    def assign(var: int, value: bool, is_decision: bool) -> bool:
+        if var in assignment:
+            return assignment[var] == value
+        assignment[var] = value
+        trail.append((var, is_decision))
+        return True
+
+    def unit_propagate() -> bool:
+        changed = True
+        while changed:
+            changed = False
+            for clause in clauses:
+                unassigned = None
+                satisfied = False
+                count = 0
+                for lit in clause:
+                    var = abs(lit)
+                    if var in assignment:
+                        if assignment[var] == (lit > 0):
+                            satisfied = True
+                            break
+                    else:
+                        unassigned = lit
+                        count += 1
+                if satisfied:
+                    continue
+                if count == 0:
+                    return False  # conflict
+                if count == 1:
+                    if not assign(abs(unassigned), unassigned > 0, False):
+                        return False
+                    changed = True
+        return True
+
+    def backtrack() -> Optional[int]:
+        """Undo to the most recent decision; return its variable or None."""
+        while trail:
+            var, is_decision = trail.pop()
+            del assignment[var]
+            if is_decision:
+                return var
+        return None
+
+    # Iterative DPLL: decide, propagate, on conflict flip the last decision.
+    flipped: dict[int, bool] = {}  # decision vars already tried both ways
+    while True:
+        if unit_propagate():
+            undecided = None
+            for clause in clauses:
+                for lit in clause:
+                    if abs(lit) not in assignment:
+                        undecided = abs(lit)
+                        break
+                if undecided:
+                    break
+            if undecided is None:
+                for v in range(1, num_vars + 1):
+                    assignment.setdefault(v, False)
+                return dict(assignment)
+            flipped.pop(undecided, None)
+            assign(undecided, True, True)
+        else:
+            while True:
+                var = backtrack()
+                if var is None:
+                    return None
+                if var not in flipped:
+                    flipped[var] = True
+                    assign(var, False, True)
+                    break

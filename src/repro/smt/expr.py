@@ -1,0 +1,259 @@
+"""Immutable expression algebra for the SMT solver.
+
+Expressions are hashable trees built from a small set of node kinds.  Two
+sorts exist: ``int`` (arithmetic) and ``bool`` (logical).  Constructors
+perform light local simplification (constant folding, flattening of
+``and``/``or``) so that the trees the analyses build stay small.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+# Node kinds.  Kept as plain strings for cheap hashing and debuggability.
+INT_CONST = "int"
+BOOL_CONST = "bool"
+VAR = "var"
+ADD = "+"
+MUL = "*"
+LT = "<"
+LE = "<="
+EQ = "=="
+NE = "!="
+AND = "and"
+OR = "or"
+NOT = "not"
+
+_INT = "int"
+_BOOL = "bool"
+
+
+class Expr:
+    """An immutable expression node.
+
+    Instances are created through the module-level constructor functions
+    (:func:`add`, :func:`lt`, :func:`and_`, ...) rather than directly.
+    """
+
+    __slots__ = ("kind", "args", "sort", "_hash")
+
+    def __init__(self, kind: str, args: tuple, sort: str):
+        self.kind = kind
+        self.args = args
+        self.sort = sort
+        self._hash = hash((kind, args))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Expr):
+            return NotImplemented
+        return self.kind == other.kind and self.args == other.args
+
+    def __repr__(self) -> str:
+        if self.kind in (INT_CONST, BOOL_CONST):
+            return repr(self.args[0])
+        if self.kind == VAR:
+            return self.args[0]
+        if self.kind == NOT:
+            return f"(not {self.args[0]!r})"
+        inner = f" {self.kind} ".join(repr(a) for a in self.args)
+        return f"({inner})"
+
+    @property
+    def is_const(self) -> bool:
+        return self.kind in (INT_CONST, BOOL_CONST)
+
+    @property
+    def value(self):
+        """Constant value; only valid when :attr:`is_const` is true."""
+        return self.args[0]
+
+    def variables(self) -> frozenset:
+        """All variable names appearing in the expression."""
+        if self.kind == VAR:
+            return frozenset((self.args[0],))
+        if self.is_const:
+            return frozenset()
+        out: set = set()
+        for a in self.args:
+            out |= a.variables()
+        return frozenset(out)
+
+
+def IntConst(value: int) -> Expr:
+    return Expr(INT_CONST, (int(value),), _INT)
+
+
+def BoolConst(value: bool) -> Expr:
+    return TRUE if value else FALSE
+
+
+TRUE = Expr(BOOL_CONST, (True,), _BOOL)
+FALSE = Expr(BOOL_CONST, (False,), _BOOL)
+
+
+def IntVar(name: str) -> Expr:
+    return Expr(VAR, (name,), _INT)
+
+
+def BoolVar(name: str) -> Expr:
+    return Expr(VAR, (name,), _BOOL)
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise TypeError(message)
+
+
+def add(a: Expr, b: Expr) -> Expr:
+    _require(a.sort == _INT and b.sort == _INT, "add expects int operands")
+    if a.kind == INT_CONST and b.kind == INT_CONST:
+        return IntConst(a.value + b.value)
+    if a.kind == INT_CONST and a.value == 0:
+        return b
+    if b.kind == INT_CONST and b.value == 0:
+        return a
+    return Expr(ADD, (a, b), _INT)
+
+
+def sub(a: Expr, b: Expr) -> Expr:
+    return add(a, neg(b))
+
+
+def neg(a: Expr) -> Expr:
+    return mul(IntConst(-1), a)
+
+
+def mul(a: Expr, b: Expr) -> Expr:
+    _require(a.sort == _INT and b.sort == _INT, "mul expects int operands")
+    if a.kind == INT_CONST and b.kind == INT_CONST:
+        return IntConst(a.value * b.value)
+    if a.kind == INT_CONST and a.value == 1:
+        return b
+    if b.kind == INT_CONST and b.value == 1:
+        return a
+    if (a.kind == INT_CONST and a.value == 0) or (b.kind == INT_CONST and b.value == 0):
+        return IntConst(0)
+    return Expr(MUL, (a, b), _INT)
+
+
+def _cmp(kind: str, a: Expr, b: Expr) -> Expr:
+    _require(a.sort == b.sort, f"{kind} expects operands of the same sort")
+    if a.is_const and b.is_const:
+        table = {
+            LT: a.value < b.value,
+            LE: a.value <= b.value,
+            EQ: a.value == b.value,
+            NE: a.value != b.value,
+        }
+        return BoolConst(table[kind])
+    return Expr(kind, (a, b), _BOOL)
+
+
+def lt(a: Expr, b: Expr) -> Expr:
+    return _cmp(LT, a, b)
+
+
+def le(a: Expr, b: Expr) -> Expr:
+    return _cmp(LE, a, b)
+
+
+def gt(a: Expr, b: Expr) -> Expr:
+    return _cmp(LT, b, a)
+
+
+def ge(a: Expr, b: Expr) -> Expr:
+    return _cmp(LE, b, a)
+
+
+def eq(a: Expr, b: Expr) -> Expr:
+    return _cmp(EQ, a, b)
+
+
+def ne(a: Expr, b: Expr) -> Expr:
+    return _cmp(NE, a, b)
+
+
+def and_(*terms: Expr) -> Expr:
+    flat: list[Expr] = []
+    for t in _flatten(terms, AND):
+        if t is FALSE:
+            return FALSE
+        if t is TRUE:
+            continue
+        flat.append(t)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return Expr(AND, tuple(flat), _BOOL)
+
+
+def or_(*terms: Expr) -> Expr:
+    flat: list[Expr] = []
+    for t in _flatten(terms, OR):
+        if t is TRUE:
+            return TRUE
+        if t is FALSE:
+            continue
+        flat.append(t)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Expr(OR, tuple(flat), _BOOL)
+
+
+def _flatten(terms: Iterable[Expr], kind: str) -> Iterable[Expr]:
+    for t in terms:
+        _require(t.sort == _BOOL, f"{kind} expects bool operands")
+        if t.kind == kind:
+            yield from t.args
+        else:
+            yield t
+
+
+def not_(a: Expr) -> Expr:
+    _require(a.sort == _BOOL, "not expects a bool operand")
+    if a is TRUE:
+        return FALSE
+    if a is FALSE:
+        return TRUE
+    if a.kind == NOT:
+        return a.args[0]
+    # Push negation through comparisons so atoms stay in positive form.
+    if a.kind == LT:
+        return le(a.args[1], a.args[0])
+    if a.kind == LE:
+        return lt(a.args[1], a.args[0])
+    if a.kind == EQ:
+        return ne(a.args[0], a.args[1])
+    if a.kind == NE:
+        return eq(a.args[0], a.args[1])
+    return Expr(NOT, (a,), _BOOL)
+
+
+def implies(a: Expr, b: Expr) -> Expr:
+    return or_(not_(a), b)
+
+
+def rename_variables(expr: Expr, rename) -> Expr:
+    """Rebuild an expression with every variable name mapped by ``rename``.
+
+    Used by the path decoder to give symbols per-invocation instances.
+    """
+    if expr.kind == VAR:
+        new_name = rename(expr.args[0])
+        if new_name == expr.args[0]:
+            return expr
+        return Expr(VAR, (new_name,), expr.sort)
+    if expr.is_const:
+        return expr
+    new_args = tuple(rename_variables(a, rename) for a in expr.args)
+    if new_args == expr.args:
+        return expr
+    return Expr(expr.kind, new_args, expr.sort)

@@ -1,0 +1,360 @@
+"""Conjunction-level decision procedure for linear integer arithmetic.
+
+The procedure is:
+
+1. substitute away equalities (Gaussian elimination),
+2. case-split disequalities into strict inequalities,
+3. run Fourier-Motzkin elimination on the remaining inequalities,
+4. apply integer tightening (``e < 0`` over integers becomes ``e <= -1``
+   after clearing denominators, constants are floored after gcd reduction).
+
+The procedure is complete over the rationals and conservative over the
+integers: a rational-satisfiable but integer-unsatisfiable system is
+reported SAT, which for path-sensitivity means (at worst) a spurious
+feasible path -- an over-approximation, never a missed one.  To bound the
+worst-case doubling of Fourier-Motzkin, the constraint set is capped; on
+overflow the system conservatively answers SAT.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import floor, gcd
+
+from repro.smt.linear import LinearAtom
+
+# Above this many working inequalities the elimination gives up and
+# conservatively reports SAT.
+MAX_CONSTRAINTS = 4000
+
+_ZERO = Fraction(0)
+
+
+def check_conjunction(atoms: list[LinearAtom]) -> bool:
+    """Return True iff the conjunction of atoms is (rationally) satisfiable."""
+    equalities = [a for a in atoms if a.rel == "=="]
+    disequalities = [a for a in atoms if a.rel == "!="]
+    inequalities = [a for a in atoms if a.rel in ("<", "<=")]
+
+    substitution: dict[str, tuple[dict[str, Fraction], Fraction]] = {}
+    # Gaussian elimination over the equalities.
+    pending = [( dict(a.coeffs), a.const) for a in equalities]
+    while pending:
+        coeffs, const = pending.pop()
+        coeffs, const = _apply_substitution(coeffs, const, substitution)
+        if not coeffs:
+            if const != 0:
+                return False
+            continue
+        # Solve for the first variable and record the substitution.
+        name, coeff = next(iter(coeffs.items()))
+        rest = {n: -c / coeff for n, c in coeffs.items() if n != name}
+        substitution[name] = (rest, -const / coeff)
+        # Normalise previously recorded substitutions against the new one.
+        for prev, (pc, pk) in list(substitution.items()):
+            if prev == name or name not in pc:
+                continue
+            scale = pc.pop(name)
+            for n, c in rest.items():
+                pc[n] = pc.get(n, _ZERO) + scale * c
+            substitution[prev] = ({n: c for n, c in pc.items() if c != 0},
+                                  pk + scale * (-const / coeff))
+
+    ineqs: list[tuple[dict[str, Fraction], Fraction, bool]] = []
+    for a in inequalities:
+        coeffs, const = _apply_substitution(dict(a.coeffs), a.const, substitution)
+        ineqs.append((coeffs, const, a.rel == "<"))
+
+    if not disequalities:
+        return _fm_satisfiable(ineqs)
+
+    # Case-split each disequality e != 0 into e < 0 or -e < 0.
+    head, *tail = disequalities
+    coeffs, const = _apply_substitution(dict(head.coeffs), head.const, substitution)
+    if not coeffs:
+        if const == 0:
+            return False
+        return _check_with_diseqs(ineqs, tail, substitution)
+    for branch_coeffs in (coeffs, {n: -c for n, c in coeffs.items()}):
+        branch_const = const if branch_coeffs is coeffs else -const
+        branch = ineqs + [(dict(branch_coeffs), branch_const, True)]
+        if _check_with_diseqs(branch, tail, substitution):
+            return True
+    return False
+
+
+def _check_with_diseqs(ineqs, diseqs, substitution) -> bool:
+    """Recursive helper continuing the disequality case split."""
+    if not diseqs:
+        return _fm_satisfiable(ineqs)
+    head, *tail = diseqs
+    coeffs, const = _apply_substitution(dict(head.coeffs), head.const, substitution)
+    if not coeffs:
+        if const == 0:
+            return False
+        return _check_with_diseqs(ineqs, tail, substitution)
+    for sign in (1, -1):
+        branch_coeffs = {n: sign * c for n, c in coeffs.items()}
+        branch = ineqs + [(branch_coeffs, sign * const, True)]
+        if _check_with_diseqs(branch, tail, substitution):
+            return True
+    return False
+
+
+def _apply_substitution(coeffs, const, substitution):
+    """Apply recorded equality substitutions to ``coeffs . vars + const``."""
+    out: dict[str, Fraction] = {}
+    for name, c in coeffs.items():
+        if name in substitution:
+            sub_coeffs, sub_const = substitution[name]
+            const += c * sub_const
+            for n, sc in sub_coeffs.items():
+                out[n] = out.get(n, _ZERO) + c * sc
+        else:
+            out[name] = out.get(name, _ZERO) + c
+    return {n: c for n, c in out.items() if c != 0}, const
+
+
+def _tighten(coeffs: dict[str, Fraction], const: Fraction, strict: bool):
+    """Integer-tighten one inequality; returns (coeffs, const, strict)."""
+    if not coeffs:
+        return coeffs, const, strict
+    denom = 1
+    for c in list(coeffs.values()) + [const]:
+        denom = denom * c.denominator // gcd(denom, c.denominator)
+    scaled = {n: c * denom for n, c in coeffs.items()}
+    k = const * denom
+    if strict:  # e < 0 over integers  ==  e + 1 <= 0
+        k += 1
+        strict = False
+    g = 0
+    for c in scaled.values():
+        g = gcd(g, int(c))
+    if g > 1:
+        # a.x + k <= 0  with gcd(a) = g  ==>  (a/g).x <= floor(-k/g)
+        scaled = {n: c / g for n, c in scaled.items()}
+        k = Fraction(-floor(-k / g))
+    return scaled, k, strict
+
+
+def _fm_satisfiable(ineqs) -> bool:
+    """Fourier-Motzkin elimination over ``coeffs . vars + const (<|<=) 0``."""
+    work = [_tighten(dict(c), k, s) for c, k, s in ineqs]
+    while True:
+        ground = [(c, k, s) for c, k, s in work if not c]
+        for _, k, s in ground:
+            if (s and k >= 0) or (not s and k > 0):
+                return False
+        work = [(c, k, s) for c, k, s in work if c]
+        if not work:
+            return True
+        if len(work) > MAX_CONSTRAINTS:
+            return True  # conservative: give up, treat as satisfiable
+        # Pick the variable with the fewest pairings to slow the blowup.
+        counts: dict[str, list[int]] = {}
+        for c, _, _ in work:
+            for name, coeff in c.items():
+                lo_hi = counts.setdefault(name, [0, 0])
+                lo_hi[0 if coeff < 0 else 1] += 1
+        var = min(counts, key=lambda n: counts[n][0] * counts[n][1])
+        lowers, uppers, rest = [], [], []
+        for c, k, s in work:
+            coeff = c.get(var, _ZERO)
+            if coeff < 0:
+                lowers.append((c, k, s, coeff))
+            elif coeff > 0:
+                uppers.append((c, k, s, coeff))
+            else:
+                rest.append((c, k, s))
+        combined = rest
+        for lc, lk, ls, lcoeff in lowers:
+            for uc, uk, us, ucoeff in uppers:
+                # lower: x >= (lc' + lk)/|lcoeff| ; upper: x <= -(uc' + uk)/ucoeff
+                new_coeffs: dict[str, Fraction] = {}
+                for n, c in lc.items():
+                    if n != var:
+                        new_coeffs[n] = new_coeffs.get(n, _ZERO) + c * ucoeff
+                for n, c in uc.items():
+                    if n != var:
+                        new_coeffs[n] = new_coeffs.get(n, _ZERO) + c * (-lcoeff)
+                new_coeffs = {n: c for n, c in new_coeffs.items() if c != 0}
+                new_const = lk * ucoeff + uk * (-lcoeff)
+                combined.append(_tighten(new_coeffs, new_const, ls or us))
+        work = _dedupe(combined)
+
+
+# -- model extraction ----------------------------------------------------------
+
+
+def find_model(atoms: list[LinearAtom]):
+    """A satisfying assignment ``{name: Fraction}`` or None if UNSAT.
+
+    Runs the same pipeline as :func:`check_conjunction` but records the
+    elimination trace, then assigns variables in reverse elimination order,
+    each within the bounds induced by already-assigned variables.  Integer
+    values are preferred; when only a rational point exists in a bound
+    window the rational is returned (the caller reports it as-is).
+    """
+    equalities = [a for a in atoms if a.rel == "=="]
+    disequalities = [a for a in atoms if a.rel == "!="]
+    inequalities = [a for a in atoms if a.rel in ("<", "<=")]
+
+    substitution: dict = {}
+    pending = [(dict(a.coeffs), a.const) for a in equalities]
+    while pending:
+        coeffs, const = pending.pop()
+        coeffs, const = _apply_substitution(coeffs, const, substitution)
+        if not coeffs:
+            if const != 0:
+                return None
+            continue
+        name, coeff = next(iter(coeffs.items()))
+        rest = {n: -c / coeff for n, c in coeffs.items() if n != name}
+        substitution[name] = (rest, -const / coeff)
+        for prev, (pc, pk) in list(substitution.items()):
+            if prev == name or name not in pc:
+                continue
+            scale = pc.pop(name)
+            for n, c in rest.items():
+                pc[n] = pc.get(n, _ZERO) + scale * c
+            substitution[prev] = (
+                {n: c for n, c in pc.items() if c != 0},
+                pk + scale * (-const / coeff),
+            )
+
+    base = []
+    for a in inequalities:
+        coeffs, const = _apply_substitution(dict(a.coeffs), a.const, substitution)
+        base.append((coeffs, const, a.rel == "<"))
+
+    # Enumerate disequality branches until one yields a model.
+    for branch in _diseq_branches(base, disequalities, substitution):
+        values = _model_of_inequalities(branch)
+        if values is None:
+            continue
+        # Back-substitute the equality-eliminated variables.
+        for name, (coeffs, const) in substitution.items():
+            total = const
+            for n, c in coeffs.items():
+                total += c * values.get(n, _ZERO)
+            values[name] = total
+        return values
+    return None
+
+
+def _diseq_branches(base, disequalities, substitution):
+    """Yield inequality systems covering all disequality sign choices."""
+    if not disequalities:
+        yield list(base)
+        return
+    head, *tail = disequalities
+    coeffs, const = _apply_substitution(dict(head.coeffs), head.const, substitution)
+    if not coeffs:
+        if const == 0:
+            return  # this (and every) branch is UNSAT
+        yield from _diseq_branches(base, tail, substitution)
+        return
+    for sign in (1, -1):
+        branch_head = ({n: sign * c for n, c in coeffs.items()}, sign * const, True)
+        yield from _diseq_branches(base + [branch_head], tail, substitution)
+
+
+def _model_of_inequalities(ineqs):
+    """Model of a pure-inequality system via traced Fourier-Motzkin."""
+    work = [_tighten(dict(c), k, s) for c, k, s in ineqs]
+    trace = []  # (var, constraints-at-elimination-time)
+    while True:
+        for c, k, s in work:
+            if not c and ((s and k >= 0) or (not s and k > 0)):
+                return None
+        work = [(c, k, s) for c, k, s in work if c]
+        if not work:
+            break
+        if len(work) > MAX_CONSTRAINTS:
+            return None  # refuse to build a model for exploded systems
+        counts: dict = {}
+        for c, _, _ in work:
+            for name, coeff in c.items():
+                lo_hi = counts.setdefault(name, [0, 0])
+                lo_hi[0 if coeff < 0 else 1] += 1
+        var = min(counts, key=lambda n: counts[n][0] * counts[n][1])
+        involving = [(c, k, s) for c, k, s in work if c.get(var, _ZERO) != 0]
+        trace.append((var, involving))
+        lowers = [(c, k, s, c[var]) for c, k, s in involving if c[var] < 0]
+        uppers = [(c, k, s, c[var]) for c, k, s in involving if c[var] > 0]
+        combined = [(c, k, s) for c, k, s in work if c.get(var, _ZERO) == 0]
+        for lc, lk, ls, lcoeff in lowers:
+            for uc, uk, us, ucoeff in uppers:
+                new_coeffs: dict = {}
+                for n, c in lc.items():
+                    if n != var:
+                        new_coeffs[n] = new_coeffs.get(n, _ZERO) + c * ucoeff
+                for n, c in uc.items():
+                    if n != var:
+                        new_coeffs[n] = new_coeffs.get(n, _ZERO) + c * (-lcoeff)
+                new_coeffs = {n: c for n, c in new_coeffs.items() if c != 0}
+                combined.append(
+                    _tighten(new_coeffs, lk * ucoeff + uk * (-lcoeff), ls or us)
+                )
+        work = _dedupe(combined)
+
+    values: dict = {}
+    for var, involving in reversed(trace):
+        lo, lo_strict = None, False
+        hi, hi_strict = None, False
+        for c, k, s in involving:
+            coeff = c[var]
+            rest = k
+            for n, cn in c.items():
+                if n != var:
+                    rest += cn * values.get(n, _ZERO)
+            bound = -rest / coeff
+            if coeff < 0:  # coeff*var + rest <= 0 with coeff<0: var >= bound
+                if lo is None or bound > lo or (bound == lo and s):
+                    lo, lo_strict = bound, s
+            else:
+                if hi is None or bound < hi or (bound == hi and s):
+                    hi, hi_strict = bound, s
+        values[var] = _pick_value(lo, lo_strict, hi, hi_strict)
+        if values[var] is None:
+            return None
+    return values
+
+
+def _pick_value(lo, lo_strict, hi, hi_strict):
+    """An integer (preferred) or rational in the given window."""
+    from math import ceil
+
+    if lo is None and hi is None:
+        return _ZERO
+    if lo is None:
+        candidate = Fraction(floor(hi)) - (1 if hi_strict and hi == floor(hi) else 0)
+        return candidate
+    if hi is None:
+        candidate = Fraction(ceil(lo)) + (1 if lo_strict and lo == ceil(lo) else 0)
+        return candidate
+    int_lo = Fraction(ceil(lo)) + (1 if lo_strict and lo == ceil(lo) else 0)
+    int_hi = Fraction(floor(hi)) - (1 if hi_strict and hi == floor(hi) else 0)
+    if int_lo <= int_hi:
+        return int_lo
+    midpoint = (lo + hi) / 2
+    if (lo < midpoint < hi) or (
+        not lo_strict and not hi_strict and lo <= midpoint <= hi
+    ):
+        return midpoint
+    if not lo_strict and not hi_strict and lo == hi:
+        return lo
+    if lo < hi:
+        return midpoint
+    return None
+
+
+def _dedupe(ineqs):
+    seen = set()
+    out = []
+    for c, k, s in ineqs:
+        key = (tuple(sorted(c.items())), k, s)
+        if key not in seen:
+            seen.add(key)
+            out.append((c, k, s))
+    return out

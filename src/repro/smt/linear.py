@@ -1,0 +1,98 @@
+"""Normalisation of arithmetic expressions into linear form.
+
+A linear term is represented as ``(coeffs, const)`` where ``coeffs`` maps a
+variable name to an integer coefficient.  Comparison atoms normalise to the
+canonical shape ``sum(coeffs) + const <= 0`` / ``< 0`` / ``== 0`` / ``!= 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.smt import expr as E
+
+
+class NonLinearError(Exception):
+    """Raised when an expression contains a product of two variables."""
+
+
+@dataclass(frozen=True, slots=True)
+class LinearAtom:
+    """A normalised comparison: ``coeffs . vars + const  REL  0``.
+
+    ``rel`` is one of ``"<="``, ``"<"``, ``"=="``, ``"!="``.
+    ``coeffs`` is a tuple of ``(name, coefficient)`` pairs sorted by name.
+    """
+
+    coeffs: tuple[tuple[str, Fraction], ...]
+    const: Fraction
+    rel: str
+
+    def negated(self) -> "LinearAtom":
+        """The atom's logical negation, itself in canonical form."""
+        if self.rel == "==":
+            return LinearAtom(self.coeffs, self.const, "!=")
+        if self.rel == "!=":
+            return LinearAtom(self.coeffs, self.const, "==")
+        flipped = tuple((v, -c) for v, c in self.coeffs)
+        if self.rel == "<=":  # not(e <= 0)  ==  -e < 0
+            return LinearAtom(flipped, -self.const, "<")
+        return LinearAtom(flipped, -self.const, "<=")  # not(e < 0) == -e <= 0
+
+    def variables(self) -> frozenset[str]:
+        return frozenset(v for v, _ in self.coeffs)
+
+
+def linearize(expr: E.Expr) -> tuple[dict[str, Fraction], Fraction]:
+    """Reduce an int-sorted expression to ``(coeffs, const)``.
+
+    Raises :class:`NonLinearError` on variable products.
+    """
+    if expr.kind == E.INT_CONST:
+        return {}, Fraction(expr.value)
+    if expr.kind == E.VAR:
+        return {expr.args[0]: Fraction(1)}, Fraction(0)
+    if expr.kind == E.ADD:
+        coeffs: dict[str, Fraction] = {}
+        const = Fraction(0)
+        for arg in expr.args:
+            sub_coeffs, sub_const = linearize(arg)
+            const += sub_const
+            for name, c in sub_coeffs.items():
+                coeffs[name] = coeffs.get(name, Fraction(0)) + c
+        return {n: c for n, c in coeffs.items() if c != 0}, const
+    if expr.kind == E.MUL:
+        left, right = expr.args
+        lc, lk = linearize(left)
+        rc, rk = linearize(right)
+        if lc and rc:
+            raise NonLinearError(f"product of variables in {expr!r}")
+        if lc:
+            scale, terms, base = rk, lc, lk
+        else:
+            scale, terms, base = lk, rc, rk
+        return (
+            {n: c * scale for n, c in terms.items() if c * scale != 0},
+            base * scale,
+        )
+    raise NonLinearError(f"unsupported arithmetic node {expr.kind!r}")
+
+
+def atom_from_comparison(expr: E.Expr) -> LinearAtom:
+    """Normalise a comparison over int expressions to a :class:`LinearAtom`.
+
+    ``a < b``  becomes ``a - b < 0``; likewise for the other relations.
+    """
+    if expr.kind not in (E.LT, E.LE, E.EQ, E.NE):
+        raise ValueError(f"not a comparison: {expr!r}")
+    left, right = expr.args
+    lc, lk = linearize(left)
+    rc, rk = linearize(right)
+    coeffs = dict(lc)
+    for name, c in rc.items():
+        coeffs[name] = coeffs.get(name, Fraction(0)) - c
+    coeffs = {n: c for n, c in coeffs.items() if c != 0}
+    const = lk - rk
+    rel = {E.LT: "<", E.LE: "<=", E.EQ: "==", E.NE: "!="}[expr.kind]
+    return LinearAtom(tuple(sorted(coeffs.items())), const, rel)

@@ -1,0 +1,94 @@
+"""S-expression serialisation of SMT expressions.
+
+Used by the string-based constraint baseline (paper Table 5): instead of
+interval-sequence encodings, each edge carries its whole constraint as a
+string, which must be parsed back before solving.  The format is a plain
+prefix notation::
+
+    (and (< (+ (var int x) (int 1)) (int 0)) (var bool b))
+"""
+
+from __future__ import annotations
+
+from repro.smt import expr as E
+
+_BINARY = {E.ADD, E.MUL, E.LT, E.LE, E.EQ, E.NE, E.AND, E.OR}
+
+
+def serialize_expr(expr: E.Expr) -> str:
+    """Render an expression as an s-expression string."""
+    if expr.kind == E.INT_CONST:
+        return f"(int {expr.value})"
+    if expr.kind == E.BOOL_CONST:
+        return "(true)" if expr.value else "(false)"
+    if expr.kind == E.VAR:
+        return f"(var {expr.sort} {expr.args[0]})"
+    parts = " ".join(serialize_expr(a) for a in expr.args)
+    return f"({expr.kind} {parts})"
+
+
+def parse_expr(text: str) -> E.Expr:
+    """Inverse of :func:`serialize_expr`."""
+    tokens = _tokenize(text)
+    expr, pos = _parse(tokens, 0)
+    if pos != len(tokens):
+        raise ValueError(f"trailing tokens at {pos} in {text[:80]!r}")
+    return expr
+
+
+def _tokenize(text: str) -> list[str]:
+    return text.replace("(", " ( ").replace(")", " ) ").split()
+
+
+def _parse(tokens: list[str], pos: int):
+    if tokens[pos] != "(":
+        raise ValueError(f"expected '(' at token {pos}")
+    head = tokens[pos + 1]
+    pos += 2
+    if head == "int":
+        value = int(tokens[pos])
+        _expect_close(tokens, pos + 1)
+        return E.IntConst(value), pos + 2
+    if head in ("true", "false"):
+        _expect_close(tokens, pos)
+        return (E.TRUE if head == "true" else E.FALSE), pos + 1
+    if head == "var":
+        sort, name = tokens[pos], tokens[pos + 1]
+        _expect_close(tokens, pos + 2)
+        var = E.IntVar(name) if sort == "int" else E.BoolVar(name)
+        return var, pos + 3
+    if head == E.NOT:
+        inner, pos = _parse(tokens, pos)
+        _expect_close(tokens, pos)
+        return E.not_(inner), pos + 1
+    if head in _BINARY:
+        args = []
+        while tokens[pos] != ")":
+            arg, pos = _parse(tokens, pos)
+            args.append(arg)
+        pos += 1  # consume ')'
+        return _build(head, args), pos
+    raise ValueError(f"unknown head {head!r}")
+
+
+def _expect_close(tokens: list[str], pos: int) -> None:
+    if tokens[pos] != ")":
+        raise ValueError(f"expected ')' at token {pos}")
+
+
+def _build(kind: str, args: list) -> E.Expr:
+    if kind == E.AND:
+        return E.and_(*args)
+    if kind == E.OR:
+        return E.or_(*args)
+    if len(args) != 2:
+        raise ValueError(f"{kind} expects 2 operands, got {len(args)}")
+    table = {
+        E.ADD: E.add,
+        E.MUL: E.mul,
+        E.LT: E.lt,
+        E.LE: E.le,
+        E.EQ: E.eq,
+        E.NE: E.ne,
+    }
+    return table[kind](args[0], args[1])

@@ -1,0 +1,5 @@
+"""Symbolic execution substrate used to build CFETs and path constraints."""
+
+from repro.symbolic.evaluator import SymbolicEnv, symbol_name
+
+__all__ = ["SymbolicEnv", "symbol_name"]

@@ -1,0 +1,27 @@
+"""Synthetic subject programs with seeded, ground-truth FSM bugs.
+
+The paper evaluates on ZooKeeper, Hadoop, HDFS and HBase.  Those codebases
+(and a JVM frontend) are not available here, so this package generates
+deterministic mini-language programs shaped like the four subjects:
+relative sizes follow the paper's Table 1, and the seeded bug mix follows
+Table 2 (true positives *and* the false-positive-inducing patterns --
+resources handled through extern sinks the checker cannot see, mirroring
+the paper's try-with-resources / collection-fetch FP causes).
+
+Because every bug is seeded, TP/FP accounting is exact instead of manual.
+"""
+
+from repro.workloads.bugs import SeededBug, classify_report, Classification
+from repro.workloads.generator import generate_subject, SubjectProfile
+from repro.workloads.subjects import SUBJECT_PROFILES, build_subject, Subject
+
+__all__ = [
+    "SeededBug",
+    "Classification",
+    "classify_report",
+    "generate_subject",
+    "SubjectProfile",
+    "SUBJECT_PROFILES",
+    "build_subject",
+    "Subject",
+]

@@ -1,0 +1,69 @@
+"""Ground-truth bug records and report classification."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.checkers.report import Report
+
+
+@dataclass(frozen=True, slots=True)
+class SeededBug:
+    """One seeded pattern instance.
+
+    ``expectation`` is ``"tp"`` (a real bug the checker should report) or
+    ``"fp"`` (safe code that the analysis' documented over-approximations
+    will flag -- the paper's false-positive causes).  ``func`` is the name
+    of the function containing the allocation the warning will point at.
+    """
+
+    checker: str
+    func: str
+    expectation: str  # "tp" | "fp"
+    pattern: str
+
+
+@dataclass
+class Classification:
+    """Table-2-style accounting for one subject."""
+
+    # checker -> counts
+    tp: dict = field(default_factory=dict)
+    fp: dict = field(default_factory=dict)
+    missed: dict = field(default_factory=dict)  # seeded but not reported
+    unexpected: list = field(default_factory=list)  # warnings at clean code
+
+    def totals(self) -> tuple[int, int]:
+        return sum(self.tp.values()), sum(self.fp.values())
+
+    def row(self, checker: str) -> tuple[int, int]:
+        return self.tp.get(checker, 0), self.fp.get(checker, 0)
+
+
+def classify_report(seeds: list[SeededBug], report: Report) -> Classification:
+    """Match warnings against the seeded ground truth.
+
+    A warning matches a seed when its checker and allocation function
+    agree.  Warnings matching "tp" seeds are true positives, those
+    matching "fp" seeds are false positives, and any warning in a function
+    with no seed is *unexpected* (a reproduction bug -- tests assert there
+    are none).  Seeds with no warning are *missed*.
+    """
+    out = Classification()
+    by_key = {(seed.checker, seed.func): seed for seed in seeds}
+    reported: set = set()
+    for warning in report.warnings:
+        key = (warning.checker, warning.func)
+        seed = by_key.get(key)
+        if seed is None:
+            out.unexpected.append(warning)
+            continue
+        if key in reported:
+            continue  # count each seeded site once
+        reported.add(key)
+        bucket = out.tp if seed.expectation == "tp" else out.fp
+        bucket[seed.checker] = bucket.get(seed.checker, 0) + 1
+    for seed in seeds:
+        if (seed.checker, seed.func) not in reported:
+            out.missed[seed.checker] = out.missed.get(seed.checker, 0) + 1
+    return out

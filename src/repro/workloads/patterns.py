@@ -1,0 +1,451 @@
+"""Code-pattern templates for the synthetic subject generator.
+
+Each pattern function returns ``(source_text, seeds)`` where ``seeds``
+lists the ground-truth bugs the pattern introduces (empty for clean
+patterns).  Names are prefixed with a unique pattern id so that warnings
+can be matched back to their seeds by allocation function.
+
+Bug patterns follow the paper's examples: the Figure 1 socket leak via an
+exception between open and close, missing-close-on-a-branch I/O leaks,
+lock/unlock mis-ordering (the HDFS bug), and exceptions escaping without
+handlers (Yuan et al.'s error-handling bugs).  FP patterns route the
+resource through an *extern* sink (a function with no definition) that
+would handle it at run time -- the mini-language analog of the paper's
+try-with-resources and fetched-from-collection FP causes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.bugs import SeededBug
+
+
+# -- true-positive bug patterns ------------------------------------------------
+
+
+def io_leak_branch(name: str, rng: random.Random):
+    threshold = rng.randint(1, 9)
+    source = f"""
+func {name}(x) {{
+    var f = new FileWriter();
+    f.write(x);
+    if (x > {threshold}) {{
+        f.close();
+    }}
+    return;
+}}
+"""
+    return source, [SeededBug("io", name, "tp", "io_leak_branch")]
+
+
+def io_leak_exception(name: str, rng: random.Random):
+    threshold = rng.randint(1, 9)
+    source = f"""
+func {name}_risky(x) {{
+    if (x > {threshold}) {{
+        var e = new IOException();
+        throw e;
+    }}
+    return;
+}}
+func {name}_work(x) {{
+    var f = new FileWriter();
+    f.write(x);
+    {name}_risky(x);
+    f.close();
+    return;
+}}
+func {name}(x) {{
+    try {{
+        {name}_work(x);
+    }} catch (err) {{
+    }}
+    return;
+}}
+"""
+    return source, [SeededBug("io", f"{name}_work", "tp", "io_leak_exception")]
+
+
+def io_write_after_close(name: str, rng: random.Random):
+    source = f"""
+func {name}(x) {{
+    var f = new FileWriter();
+    f.write(x);
+    f.close();
+    if (x == {rng.randint(1, 9)}) {{
+        f.write(x);
+    }}
+    return;
+}}
+"""
+    return source, [SeededBug("io", name, "tp", "io_write_after_close")]
+
+
+def lock_misorder(name: str, rng: random.Random):
+    source = f"""
+func {name}(x) {{
+    var l = new ReentrantLock();
+    l.unlock();
+    var v = x + {rng.randint(1, 5)};
+    l.lock();
+    l.unlock();
+    return;
+}}
+"""
+    return source, [SeededBug("lock", name, "tp", "lock_misorder")]
+
+
+def lock_held_at_exit(name: str, rng: random.Random):
+    threshold = rng.randint(1, 9)
+    source = f"""
+func {name}(x) {{
+    var l = new Lock();
+    l.lock();
+    if (x > {threshold}) {{
+        return;
+    }}
+    l.unlock();
+    return;
+}}
+"""
+    return source, [SeededBug("lock", name, "tp", "lock_held_at_exit")]
+
+
+def exception_unhandled(name: str, rng: random.Random):
+    exc_type = rng.choice(["IOException", "TimeoutException", "KeeperException"])
+    threshold = rng.randint(1, 9)
+    source = f"""
+func {name}_deep(x) {{
+    if (x > {threshold}) {{
+        var e = new {exc_type}();
+        throw e;
+    }}
+    return;
+}}
+func {name}(x) {{
+    {name}_deep(x);
+    return;
+}}
+"""
+    return source, [
+        SeededBug("exception", f"{name}_deep", "tp", "exception_unhandled")
+    ]
+
+
+def exception_unhandled_deep_chain(name: str, rng: random.Random):
+    exc_type = rng.choice(["IOException", "RuntimeException"])
+    threshold = rng.randint(1, 9)
+    source = f"""
+func {name}_lvl3(x) {{
+    if (x > {threshold}) {{
+        var e = new {exc_type}();
+        throw e;
+    }}
+    return;
+}}
+func {name}_lvl2(x) {{
+    {name}_lvl3(x + 1);
+    return;
+}}
+func {name}(x) {{
+    {name}_lvl2(x);
+    return;
+}}
+"""
+    return source, [
+        SeededBug("exception", f"{name}_lvl3", "tp", "exception_unhandled_deep")
+    ]
+
+
+def socket_leak_reconfigure(name: str, rng: random.Random):
+    """The paper's Figure 1: an exception between open and close leaks the
+    old channel in reconfigure()."""
+    threshold = rng.randint(1, 9)
+    source = f"""
+func {name}_mayfail(x) {{
+    if (x > {threshold}) {{
+        var e = new IOException();
+        throw e;
+    }}
+    return;
+}}
+func {name}_reconfigure(x) {{
+    var old = new ServerSocketChannel();
+    old.bind(x);
+    old.configureBlocking(0);
+    try {{
+        {name}_mayfail(x);
+        old.close();
+    }} catch (err) {{
+    }}
+    return;
+}}
+func {name}(x) {{
+    {name}_reconfigure(x);
+    return;
+}}
+"""
+    return source, [
+        SeededBug("socket", f"{name}_reconfigure", "tp", "socket_leak_reconfigure")
+    ]
+
+
+def socket_leak_branch(name: str, rng: random.Random):
+    threshold = rng.randint(1, 9)
+    source = f"""
+func {name}(x) {{
+    var s = new Socket();
+    s.connect(x);
+    s.send(x);
+    if (x > {threshold}) {{
+        s.close();
+    }}
+    return;
+}}
+"""
+    return source, [SeededBug("socket", name, "tp", "socket_leak_branch")]
+
+
+# -- false-positive patterns (safe code the analysis will flag) -----------------
+
+
+def io_fp_extern_close(name: str, rng: random.Random):
+    """closeQuietly is extern (like Java 8 try-with-resources support the
+    paper's frontend lacked): the stream IS closed, the checker can't see
+    it."""
+    source = f"""
+func {name}(x) {{
+    var f = new FileWriter();
+    f.write(x);
+    closeQuietly(f);
+    return;
+}}
+"""
+    return source, [SeededBug("io", name, "fp", "io_fp_extern_close")]
+
+
+def socket_fp_pool(name: str, rng: random.Random):
+    """Returning the socket to an extern pool closes it eventually -- the
+    paper's 'object fetched from a collection' FP cause."""
+    source = f"""
+func {name}(x) {{
+    var s = new Socket();
+    s.connect(x);
+    s.send(x);
+    returnToPool(s);
+    return;
+}}
+"""
+    return source, [SeededBug("socket", name, "fp", "socket_fp_pool")]
+
+
+def exception_fp_extern_handler(name: str, rng: random.Random):
+    """An extern error-handler registration handles the exception at run
+    time (the paper's imprecise-CFG-for-nested-try FP analogue)."""
+    threshold = rng.randint(1, 9)
+    source = f"""
+func {name}(x) {{
+    if (x > {threshold}) {{
+        var e = new RuntimeException();
+        registerErrorHandler(e);
+        throw e;
+    }}
+    return;
+}}
+"""
+    return source, [SeededBug("exception", name, "fp", "exception_fp_extern")]
+
+
+# -- clean patterns (no warnings expected) --------------------------------------
+
+
+def clean_io(name: str, rng: random.Random):
+    writes = "\n    ".join(f"f.write({i});" for i in range(rng.randint(1, 3)))
+    source = f"""
+func {name}(x) {{
+    var f = new FileWriter();
+    {writes}
+    f.close();
+    return;
+}}
+"""
+    return source, []
+
+
+def clean_io_alias(name: str, rng: random.Random):
+    source = f"""
+func {name}(x) {{
+    var f = new FileWriter();
+    var g = f;
+    f.write(x);
+    g.close();
+    return;
+}}
+"""
+    return source, []
+
+
+def clean_io_field(name: str, rng: random.Random):
+    source = f"""
+func {name}(x) {{
+    var holder = new Holder();
+    var f = new FileWriter();
+    holder.stream = f;
+    f.write(x);
+    var h = holder.stream;
+    h.close();
+    return;
+}}
+"""
+    return source, []
+
+
+def clean_io_interproc(name: str, rng: random.Random):
+    source = f"""
+func {name}_close(h) {{
+    h.close();
+    return;
+}}
+func {name}(x) {{
+    var f = new FileWriter();
+    f.write(x);
+    {name}_close(f);
+    return;
+}}
+"""
+    return source, []
+
+
+def clean_io_path_correlated(name: str, rng: random.Random):
+    threshold = rng.randint(1, 9)
+    source = f"""
+func {name}(x) {{
+    var f = null;
+    if (x > {threshold}) {{
+        f = new FileWriter();
+    }}
+    if (x > {threshold}) {{
+        f.write(x);
+        f.close();
+    }}
+    return;
+}}
+"""
+    return source, []
+
+
+def clean_lock(name: str, rng: random.Random):
+    source = f"""
+func {name}(x) {{
+    var l = new ReentrantLock();
+    l.lock();
+    var v = x * {rng.randint(2, 5)};
+    l.unlock();
+    return;
+}}
+"""
+    return source, []
+
+
+def clean_exception_caught(name: str, rng: random.Random):
+    threshold = rng.randint(1, 9)
+    source = f"""
+func {name}_risky(x) {{
+    if (x > {threshold}) {{
+        var e = new IOException();
+        throw e;
+    }}
+    return;
+}}
+func {name}(x) {{
+    try {{
+        {name}_risky(x);
+    }} catch (err) {{
+    }}
+    return;
+}}
+"""
+    return source, []
+
+
+def clean_socket(name: str, rng: random.Random):
+    source = f"""
+func {name}(x) {{
+    var s = new ServerSocketChannel();
+    s.bind(x);
+    s.configureBlocking(0);
+    s.accept(x);
+    s.close();
+    return;
+}}
+"""
+    return source, []
+
+
+def clean_compute(name: str, rng: random.Random):
+    a, b = rng.randint(1, 9), rng.randint(1, 9)
+    source = f"""
+func {name}(x) {{
+    var acc = 0;
+    var i = 0;
+    while (i < {a}) {{
+        acc = acc + x * {b};
+        i = i + 1;
+    }}
+    if (acc > {a * b}) {{
+        acc = acc - {b};
+    }}
+    return acc;
+}}
+"""
+    return source, []
+
+
+def clean_compute_calls(name: str, rng: random.Random):
+    c = rng.randint(2, 6)
+    source = f"""
+func {name}_step(v) {{
+    if (v > {c}) {{
+        return v - {c};
+    }}
+    return v + 1;
+}}
+func {name}(x) {{
+    var a = {name}_step(x);
+    var b = {name}_step(a);
+    if (a < b) {{
+        return a;
+    }}
+    return b;
+}}
+"""
+    return source, []
+
+
+# Pattern registries the generator draws from.
+TP_PATTERNS = {
+    "io": [io_leak_branch, io_leak_exception, io_write_after_close],
+    "lock": [lock_misorder, lock_held_at_exit],
+    "exception": [exception_unhandled, exception_unhandled_deep_chain],
+    "socket": [socket_leak_reconfigure, socket_leak_branch],
+}
+
+FP_PATTERNS = {
+    "io": [io_fp_extern_close],
+    "exception": [exception_fp_extern_handler],
+    "socket": [socket_fp_pool],
+}
+
+CLEAN_PATTERNS = [
+    clean_io,
+    clean_io_alias,
+    clean_io_field,
+    clean_io_interproc,
+    clean_io_path_correlated,
+    clean_lock,
+    clean_exception_caught,
+    clean_socket,
+    clean_compute,
+    clean_compute_calls,
+]

@@ -1,0 +1,128 @@
+"""The four synthetic subjects mirroring the paper's Tables 1 and 2.
+
+Line counts keep the paper's relative sizes (ZooKeeper 206K : Hadoop 568K
+: HDFS 546K : HBase 1.37M) at a scale a pure-Python engine can close over
+in seconds-to-minutes (the calibration note in DESIGN.md); the seeded bug
+mix per checker matches Table 2's TP/FP counts exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.bugs import SeededBug
+from repro.workloads.generator import (
+    GeneratedSubject,
+    SubjectProfile,
+    generate_subject,
+)
+
+# Paper Table 1 (for reporting) and Table 2 (bug mix), with target_loc
+# scaled down ~130x from the paper's line counts.
+SUBJECT_PROFILES: dict[str, SubjectProfile] = {
+    "zookeeper": SubjectProfile(
+        name="zookeeper",
+        version="3.5.0",
+        description="distributed coordination service",
+        target_loc=1_600,
+        bugs={
+            "io": (2, 0),
+            "lock": (0, 0),
+            "exception": (59, 0),
+            "socket": (4, 0),
+        },
+        seed=11,
+    ),
+    "hadoop": SubjectProfile(
+        name="hadoop",
+        version="2.7.5",
+        description="data-processing platform",
+        target_loc=4_400,
+        bugs={
+            "io": (0, 0),
+            "lock": (0, 0),
+            "exception": (54, 2),
+            "socket": (0, 0),
+        },
+        seed=22,
+    ),
+    "hdfs": SubjectProfile(
+        name="hdfs",
+        version="2.0.3",
+        description="distributed file system",
+        target_loc=4_200,
+        bugs={
+            "io": (1, 1),
+            "lock": (1, 0),
+            "exception": (43, 3),
+            "socket": (4, 1),
+        },
+        seed=33,
+    ),
+    "hbase": SubjectProfile(
+        name="hbase",
+        version="1.1.6",
+        description="distributed database",
+        target_loc=10_600,
+        bugs={
+            "io": (15, 2),
+            "lock": (0, 0),
+            "exception": (176, 8),
+            "socket": (0, 0),
+        },
+        seed=44,
+    ),
+}
+
+# Paper Table 1 line counts, for side-by-side reporting.
+PAPER_LOC = {
+    "zookeeper": "206K",
+    "hadoop": "568K",
+    "hdfs": "546K",
+    "hbase": "1.37M",
+}
+
+
+@dataclass
+class Subject:
+    """A generated subject plus its reporting metadata."""
+
+    name: str
+    version: str
+    description: str
+    source: str
+    seeds: list[SeededBug]
+    loc: int
+    module_count: int
+    paper_loc: str
+
+
+def build_subject(name: str, scale: float = 1.0) -> Subject:
+    """Generate one of the four subjects (optionally rescaled)."""
+    try:
+        profile = SUBJECT_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown subject {name!r}; available: {sorted(SUBJECT_PROFILES)}"
+        ) from None
+    if scale != 1.0:
+        profile = SubjectProfile(
+            name=profile.name,
+            version=profile.version,
+            description=profile.description,
+            target_loc=max(200, int(profile.target_loc * scale)),
+            bugs=profile.bugs,
+            patterns_per_module=profile.patterns_per_module,
+            seed=profile.seed,
+        )
+    generated: GeneratedSubject = generate_subject(profile)
+    return Subject(
+        name=profile.name,
+        version=profile.version,
+        description=profile.description,
+        source=generated.source,
+        seeds=generated.seeds,
+        loc=generated.loc,
+        module_count=generated.module_count,
+        paper_loc=PAPER_LOC[name],
+    )

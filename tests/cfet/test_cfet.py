@@ -1,0 +1,206 @@
+"""Unit tests for CFET construction (paper §3.1, Figure 5a)."""
+
+import pytest
+
+from repro.cfet.cfet import build_cfet, parent_id, is_true_child
+from repro.lang.parser import parse_program
+from repro.lang.transform import lower_exceptions, normalize_calls, unroll_loops
+from repro.smt import Result, Solver
+from repro.smt import expr as E
+
+# The paper's Figure 3b program.
+FIG3B = """
+func main(arg0) {
+    var out = null;
+    var o = null;
+    var x = arg0;
+    var y = x;
+    if (x >= 0) {
+        out = new FileWriter();
+        o = out;
+        y = y - 1;
+    } else {
+        y = y + 1;
+    }
+    if (y > 0) {
+        out.write(x);
+        o.close();
+    }
+    return;
+}
+"""
+
+
+def cfet_of(source, func="main", k=2):
+    program = parse_program(source)
+    normalize_calls(program)
+    unroll_loops(program, k)
+    lower_exceptions(program)
+    return build_cfet(program.functions[func])
+
+
+def test_parent_id_matches_eytzinger_numbering():
+    assert parent_id(1) == 0 and parent_id(2) == 0
+    assert parent_id(5) == 2 and parent_id(6) == 2
+    assert parent_id(3) == 1 and parent_id(4) == 1
+    with pytest.raises(ValueError):
+        parent_id(0)
+
+
+def test_true_false_children():
+    assert is_true_child(2) and is_true_child(6)
+    assert not is_true_child(1) and not is_true_child(5)
+
+
+def test_fig3b_tree_shape():
+    cfet = cfet_of(FIG3B)
+    # Root branches on x >= 0; each arm branches on y > 0: 3 internal
+    # nodes, 4 leaves (Figure 5a).
+    assert set(cfet.nodes) == {0, 1, 2, 3, 4, 5, 6}
+    assert not cfet.root.is_leaf
+    assert {n.node_id for n in cfet.leaves} == {3, 4, 5, 6}
+
+
+def test_fig3b_root_condition_is_x_ge_0():
+    cfet = cfet_of(FIG3B)
+    x = E.IntVar("main::arg0")
+    assert cfet.root.condition == E.ge(x, E.IntConst(0))
+
+
+def test_fig3b_branch_conditions_reflect_symbolic_y():
+    cfet = cfet_of(FIG3B)
+    x = E.IntVar("main::arg0")
+    # true branch: y = x - 1, condition y > 0 becomes x - 1 > 0
+    true_child = cfet.nodes[2]
+    assert true_child.condition == E.gt(E.sub(x, E.IntConst(1)), E.IntConst(0))
+    # false branch: y = x + 1
+    false_child = cfet.nodes[1]
+    assert false_child.condition == E.gt(E.add(x, E.IntConst(1)), E.IntConst(0))
+
+
+def test_fig3b_infeasible_path_constraint():
+    """Path 3 of the paper (else branch then write) must be UNSAT."""
+    cfet = cfet_of(FIG3B)
+    # Node 4 = true child of node 1 (else branch taken, then y > 0 true).
+    constraint = cfet.path_constraint(0, 4)
+    assert Solver().check(constraint) is Result.UNSAT
+
+
+def test_fig3b_feasible_paths():
+    cfet = cfet_of(FIG3B)
+    solver = Solver()
+    for leaf in (3, 5, 6):
+        assert solver.check(cfet.path_constraint(0, leaf)) is Result.SAT
+
+
+def test_path_constraint_same_node_is_true():
+    cfet = cfet_of(FIG3B)
+    assert cfet.path_constraint(2, 2) is E.TRUE
+
+
+def test_path_constraint_non_ancestor_raises():
+    cfet = cfet_of(FIG3B)
+    with pytest.raises(ValueError):
+        cfet.path_constraint(1, 6)  # 6 is under node 2, not node 1
+
+
+def test_is_ancestor():
+    cfet = cfet_of(FIG3B)
+    assert cfet.is_ancestor(0, 6)
+    assert cfet.is_ancestor(2, 5)
+    assert not cfet.is_ancestor(1, 6)
+    assert cfet.is_ancestor(4, 4)
+
+
+def test_statements_after_join_are_duplicated():
+    cfet = cfet_of(
+        """
+        func main() {
+            if (a > 0) { x.m(); } else { x.n(); }
+            x.p();
+        }
+        """
+    )
+    # x.p() appears in both subtrees.
+    methods_by_node = {
+        n.node_id: [s.method for s in n.statements]
+        for n in cfet.nodes.values()
+    }
+    assert "p" in methods_by_node[1] and "p" in methods_by_node[2]
+
+
+def test_call_records_have_unique_ids_and_equations():
+    program = parse_program(
+        """
+        func bar(a) { return a - 1; }
+        func main(x) { var y = bar(2 * x); var z = bar(y); }
+        """
+    )
+    normalize_calls(program)
+    unroll_loops(program)
+    lower_exceptions(program)
+    from repro.cfet.icfet import build_icfet
+
+    icfet = build_icfet(program)
+    main = icfet.cfets["main"]
+    records = main.root.calls
+    assert len(records) == 2
+    assert records[0].cid != records[1].cid
+    assert records[0].rid == records[0].cid + 1
+    # First call: bar::a == 2 * main::x
+    eq = records[0].equations[0]
+    assert eq == E.eq(
+        E.IntVar("bar::a"), E.mul(E.IntConst(2), E.IntVar("main::x"))
+    )
+    # Result symbols are occurrence-unique.
+    assert records[0].result_symbol != records[1].result_symbol
+
+
+def test_leaf_return_value_symbolic():
+    program = parse_program("func f(a) { return a + 1; }")
+    normalize_calls(program)
+    cfet = build_cfet(program.functions["f"])
+    leaf = cfet.root
+    assert leaf.is_leaf
+    assert leaf.return_value == E.add(E.IntVar("f::a"), E.IntConst(1))
+
+
+def test_return_var_recorded_for_object_returns():
+    program = parse_program(
+        "func make() { var f = new File(); return f; }"
+    )
+    normalize_calls(program)
+    cfet = build_cfet(program.functions["make"])
+    assert cfet.root.return_var == "f"
+
+
+def test_unrolled_loop_inputs_not_correlated():
+    """Two unrolled iterations of `x = input()` must get distinct symbols."""
+    cfet = cfet_of(
+        """
+        func main() {
+            var go = 1;
+            while (go > 0) {
+                go = input();
+            }
+        }
+        """,
+        k=2,
+    )
+    symbols = set()
+    for node in cfet.nodes.values():
+        if node.condition is not None:
+            symbols |= node.condition.variables()
+    in_syms = {s for s in symbols if "in_occ" in s}
+    assert len(in_syms) == 1 or len(in_syms) == 2  # depends on guard shape
+    # More direct: the env bound different names per occurrence -- verify via
+    # leaf count consistency (no crash) and uniqueness of occurrences used.
+    assert len(cfet.leaves) >= 2
+
+
+def test_max_nodes_guard():
+    # 18 sequential branches exceed the 2^17 node cap.
+    branches = "".join(f"if (x{i} > 0) {{ }}\n" for i in range(18))
+    source = f"func main() {{ {branches} }}"
+    with pytest.raises(OverflowError):
+        cfet_of(source)

@@ -1,0 +1,194 @@
+"""Unit tests for path encoding merge/decode (paper §3.2, §4.2)."""
+
+import pytest
+
+from repro.cfet import encoding as enc
+from repro.cfet.icfet import build_icfet
+from repro.lang.parser import parse_program
+from repro.lang.transform import lower_exceptions, normalize_calls, unroll_loops
+from repro.smt import Result, Solver
+from repro.smt import expr as E
+
+# The paper's Figure 6a.
+FIG6A = """
+func bar(a) {
+    if (a < 0) {
+        return a + 1;
+    }
+    return a - 1;
+}
+func foo(x) {
+    var y = x + 1;
+    if (x > 0) {
+        y = bar(2 * x);
+    }
+    if (y < 0) {
+        y = 0;
+    }
+    return;
+}
+"""
+
+
+@pytest.fixture()
+def fig6():
+    program = parse_program(FIG6A)
+    normalize_calls(program)
+    unroll_loops(program)
+    lower_exceptions(program)
+    return build_icfet(program)
+
+
+def I(func, a, b):
+    return enc.interval(func, a, b)
+
+
+# -- the four merge cases (§4.2) ---------------------------------------------
+
+
+def test_merge_case1_adjacent_intervals_chain(fig6):
+    e1 = (I("foo", 0, 2),)
+    e2 = (I("foo", 2, 6),)
+    assert enc.merge(e1, e2, fig6) == (I("foo", 0, 6),)
+
+
+def test_merge_case2_interval_then_call(fig6):
+    record = next(iter(fig6.by_cid.values()))
+    e1 = (I("foo", 0, 2),)
+    e2 = (enc.call_elem(record.cid),)
+    merged = enc.merge(e1, e2, fig6)
+    assert merged == (I("foo", 0, 2), ("C", record.cid))
+
+
+def test_merge_case3_matched_call_return_cancels(fig6):
+    record = next(iter(fig6.by_cid.values()))
+    e1 = (I("foo", 0, 2), enc.call_elem(record.cid), I(record.callee, 0, 0))
+    e2 = (I(record.callee, 0, 2), enc.return_elem(record.rid), I("foo", 2, 6))
+    merged = enc.merge(e1, e2, fig6)
+    assert merged == (I("foo", 0, 6),)
+
+
+def test_merge_case4_unmatched_calls_concatenate(fig6):
+    records = list(fig6.by_cid.values())
+    r1 = records[0]
+    e1 = (I("foo", 0, 2), enc.call_elem(r1.cid), I(r1.callee, 0, 0))
+    e2 = (I(r1.callee, 0, 1),)
+    merged = enc.merge(e1, e2, fig6)
+    assert merged == (
+        I("foo", 0, 2),
+        ("C", r1.cid),
+        I(r1.callee, 0, 1),
+    )
+
+
+def test_merge_non_chaining_intervals_concatenate(fig6):
+    # V-shaped composition: both fragments start at the same node.
+    e1 = (I("foo", 0, 1),)
+    e2 = (I("foo", 0, 2),)
+    merged = enc.merge(e1, e2, fig6)
+    assert merged == (I("foo", 0, 1), I("foo", 0, 2))
+
+
+def test_merge_overflow_returns_none(fig6):
+    long_enc = tuple(I("foo", 0, 1) for _ in range(enc.MAX_ELEMENTS))
+    assert enc.merge(long_enc, (I("foo", 0, 2),), fig6) is None
+
+
+def test_reverse_swaps_call_and_return(fig6):
+    record = next(iter(fig6.by_cid.values()))
+    original = (I("foo", 0, 2), enc.call_elem(record.cid), I("bar", 0, 1))
+    reversed_enc = enc.reverse(original)
+    assert reversed_enc == (
+        I("bar", 0, 1),
+        ("R", record.rid),
+        I("foo", 0, 2),
+    )
+    # Reversal is an involution.
+    assert enc.reverse(reversed_enc) == original
+
+
+# -- constraint decoding -------------------------------------------------------
+
+
+def sat(constraint):
+    return Solver().check(constraint) is Result.SAT
+
+
+def test_decode_single_interval(fig6):
+    # foo path 0 -> 2 requires x > 0.
+    constraint = enc.decode_constraint((I("foo", 0, 2),), fig6)
+    assert constraint == E.gt(E.IntVar("foo::x"), E.IntConst(0))
+
+
+def test_decode_empty_encoding_is_true(fig6):
+    assert enc.decode_constraint((), fig6) is E.TRUE
+
+
+def test_decode_paper_fig6_interprocedural_path_unsat(fig6):
+    """x>0 & a==2x & a<0 & y==a+1 & !(y<0) is UNSAT (paper §3.2)."""
+    record = next(iter(fig6.by_cid.values()))
+    assert record.callee == "bar"
+    # foo enters bar's a<0 branch (bar node 2 is the true child), returns,
+    # then foo takes the y<0 == false branch.
+    path = (
+        I("foo", 0, 2),
+        enc.call_elem(record.cid),
+        I("bar", 0, 2),
+        enc.return_elem(record.rid),
+        I("foo", 2, 5),
+    )
+    constraint = enc.decode_constraint(path, fig6)
+    assert not sat(constraint)
+
+
+def test_decode_feasible_interprocedural_path(fig6):
+    """Taking bar's a >= 0 branch instead gives a satisfiable path."""
+    record = next(iter(fig6.by_cid.values()))
+    path = (
+        I("foo", 0, 2),
+        enc.call_elem(record.cid),
+        I("bar", 0, 1),
+        enc.return_elem(record.rid),
+        I("foo", 2, 5),
+    )
+    assert sat(enc.decode_constraint(path, fig6))
+
+
+def test_decode_instances_separate_repeated_callee():
+    """Two sequential calls to the same callee must not share symbols."""
+    program = parse_program(
+        """
+        func id(a) { return a; }
+        func main(x) {
+            var p = id(1);
+            var q = id(2);
+            if (p < q) {
+                return;
+            }
+            return;
+        }
+        """
+    )
+    normalize_calls(program)
+    unroll_loops(program)
+    lower_exceptions(program)
+    icfet = build_icfet(program)
+    main = icfet.cfets["main"]
+    rec1, rec2 = main.root.calls
+    path = (
+        enc.call_elem(rec1.cid),
+        I("id", 0, 0),
+        enc.return_elem(rec1.rid),
+        enc.call_elem(rec2.cid),
+        I("id", 0, 0),
+        enc.return_elem(rec2.rid),
+        I("main", 0, 2),  # p < q true branch
+    )
+    constraint = enc.decode_constraint(path, icfet)
+    # p = id(1) = 1, q = id(2) = 2, p < q: must be SAT.  Without instancing
+    # the two id::a would collide (a == 1 and a == 2) making it UNSAT.
+    assert sat(constraint)
+
+
+def test_single_encoding_helper():
+    assert enc.single("f", 3) == (("I", "f", 3, 3),)

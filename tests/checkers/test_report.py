@@ -1,0 +1,67 @@
+"""Unit tests for warnings and reports."""
+
+from repro.checkers.report import Report, Warning
+
+
+def warning(checker="io", kind="at-exit", site=1, func="main",
+            state="Open", type_name="FileWriter", line=3):
+    return Warning(
+        checker=checker,
+        kind=kind,
+        site=site,
+        type_name=type_name,
+        state=state,
+        func=func,
+        line=line,
+    )
+
+
+def test_report_add_and_len():
+    report = Report()
+    report.add(warning())
+    assert len(report) == 1
+
+
+def test_report_dedupes_identical_warnings():
+    report = Report()
+    report.add(warning())
+    report.add(warning())
+    assert len(report) == 1
+
+
+def test_report_by_checker():
+    report = Report()
+    report.add(warning(checker="io"))
+    report.add(warning(checker="socket", site=2))
+    assert len(report.by_checker("io")) == 1
+    assert len(report.by_checker("socket")) == 1
+    assert report.by_checker("lock") == []
+
+
+def test_report_sites():
+    report = Report()
+    report.add(warning(site=1))
+    report.add(warning(site=2, checker="socket"))
+    assert report.sites() == {1, 2}
+    assert report.sites("io") == {1}
+
+
+def test_warning_describe_mentions_location():
+    text = warning().describe()
+    assert "main" in text and "FileWriter" in text and "Open" in text
+
+
+def test_error_transition_describe_differs():
+    leak = warning(kind="at-exit").describe()
+    error = warning(kind="error-transition").describe()
+    assert leak != error
+    assert "error state" in error
+
+
+def test_summary_lists_all():
+    report = Report()
+    report.add(warning(site=1))
+    report.add(warning(site=2))
+    summary = report.summary()
+    assert summary.startswith("2 warning(s)")
+    assert summary.count("FileWriter") == 2

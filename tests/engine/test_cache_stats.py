@@ -1,0 +1,99 @@
+"""Unit tests for the LRU cache and engine statistics."""
+
+import pytest
+
+from repro.engine.cache import LRUCache
+from repro.engine.stats import EngineStats
+
+
+def test_cache_basic_get_put():
+    cache = LRUCache(4)
+    cache.put("a", True)
+    assert cache.get("a") is True
+    assert cache.hits == 1 and cache.misses == 0
+
+
+def test_cache_miss_counts():
+    cache = LRUCache(4)
+    assert cache.get("missing") is None
+    assert cache.misses == 1
+
+
+def test_cache_eviction_order_is_lru():
+    cache = LRUCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.get("a")  # "a" becomes most recently used
+    cache.put("c", 3)  # evicts "b"
+    assert "a" in cache and "c" in cache
+    assert "b" not in cache
+
+
+def test_cache_put_refreshes_recency():
+    cache = LRUCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("a", 10)
+    cache.put("c", 3)  # evicts "b", not "a"
+    assert cache.get("a") == 10
+    assert "b" not in cache
+
+
+def test_cache_capacity_validated():
+    with pytest.raises(ValueError):
+        LRUCache(0)
+
+
+def test_cache_stores_false_values():
+    """False (UNSAT) results must be distinguishable from missing."""
+    cache = LRUCache(4)
+    cache.put("k", False)
+    assert cache.get("k") is False
+
+
+def test_cache_clear():
+    cache = LRUCache(4)
+    cache.put("a", 1)
+    cache.get("a")
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.hits == 0
+
+
+def test_stats_timing_accumulates():
+    stats = EngineStats()
+    with stats.timing("io_time"):
+        pass
+    with stats.timing("io_time"):
+        pass
+    assert stats.io_time >= 0
+
+
+def test_stats_breakdown_sums_to_one():
+    stats = EngineStats(io_time=1.0, encode_time=2.0, smt_time=3.0,
+                        compute_time=4.0)
+    breakdown = stats.breakdown()
+    assert abs(sum(breakdown.values()) - 1.0) < 1e-9
+    assert breakdown["compute"] == 0.4
+
+
+def test_stats_breakdown_empty_is_zero():
+    assert sum(EngineStats().breakdown().values()) == 0.0
+
+
+def test_stats_cache_hit_rate():
+    stats = EngineStats(constraint_queries=10, cache_hits=7)
+    assert stats.cache_hit_rate == 0.7
+    assert EngineStats().cache_hit_rate == 0.0
+
+
+def test_stats_merge_sums_components():
+    a = EngineStats(io_time=1.0, smt_time=2.0, new_edges=5, cache_hits=3,
+                    constraint_queries=4)
+    b = EngineStats(io_time=0.5, smt_time=1.0, new_edges=2, cache_hits=1,
+                    constraint_queries=2)
+    a.merge(b)
+    assert a.io_time == 1.5
+    assert a.new_edges == 7
+    assert a.cache_hits == 4
+    assert a.constraint_queries == 6

@@ -1,0 +1,104 @@
+"""Unit and property tests for the binary partition format."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import serialize
+
+
+def roundtrip(edges):
+    return serialize.decode_partition(serialize.encode_partition(edges))
+
+
+def test_empty_partition():
+    assert roundtrip({}) == {}
+
+
+def test_single_edge():
+    edges = {1: {(2, 0): {(("I", "main", 0, 3),)}}}
+    assert roundtrip(edges) == edges
+
+
+def test_multiple_encodings_per_edge():
+    edges = {
+        5: {
+            (7, 2): {
+                (("I", "f", 0, 1),),
+                (("I", "f", 0, 2),),
+                (("C", 12), ("I", "g", 0, 0)),
+            }
+        }
+    }
+    assert roundtrip(edges) == edges
+
+
+def test_call_return_elements():
+    edges = {0: {(1, 0): {(("C", 3), ("I", "callee", 0, 4), ("R", 4))}}}
+    assert roundtrip(edges) == edges
+
+
+def test_string_elements():
+    edges = {0: {(1, 0): {(("S", "(and (true) (var int foo::x))"),)}}}
+    assert roundtrip(edges) == edges
+
+
+def test_shared_function_names_interned_once():
+    edges = {
+        i: {(i + 1, 0): {(("I", "sharedfunc", 0, i),)}} for i in range(50)
+    }
+    data = serialize.encode_partition(edges)
+    assert data.count(b"sharedfunc") == 1
+    assert roundtrip(edges) == edges
+
+
+def test_varint_roundtrip_large_values():
+    import io
+
+    for value in (0, 1, 127, 128, 300, 2**20, 2**40):
+        out = io.BytesIO()
+        serialize.write_varint(out, value)
+        decoded, pos = serialize.read_varint(out.getvalue(), 0)
+        assert decoded == value
+        assert pos == len(out.getvalue())
+
+
+def test_bad_magic_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        serialize.decode_partition(b"XXXX\x01")
+
+
+def test_estimate_accounts_for_strings():
+    small = serialize.estimate_edge_bytes((("I", "f", 0, 1),))
+    big = serialize.estimate_edge_bytes((("S", "x" * 1000),))
+    assert big > small + 900
+
+
+# -- property-based ---------------------------------------------------------
+
+_funcs = st.sampled_from(["alpha", "beta", "gamma"])
+
+_elements = st.one_of(
+    st.tuples(st.just("I"), _funcs, st.integers(0, 500), st.integers(0, 500)),
+    st.tuples(st.just("C"), st.integers(0, 10_000)),
+    st.tuples(st.just("R"), st.integers(0, 10_000)),
+)
+
+_encodings = st.lists(_elements, min_size=1, max_size=6).map(tuple)
+
+_partitions = st.dictionaries(
+    st.integers(0, 200),
+    st.dictionaries(
+        st.tuples(st.integers(0, 200), st.integers(0, 10)),
+        st.sets(_encodings, min_size=1, max_size=3),
+        min_size=1,
+        max_size=4,
+    ),
+    max_size=8,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_partitions)
+def test_roundtrip_is_identity(edges):
+    assert roundtrip(edges) == edges

@@ -1,0 +1,210 @@
+"""Unit tests for the alias program-graph generator (paper §4.1, Fig 5b)."""
+
+import pytest
+
+from repro.analysis.frontend import compile_source
+from repro.graph.alias_graph import build_alias_graph
+
+FIG3B = """
+func main(arg0) {
+    var out = null;
+    var o = null;
+    var x = arg0;
+    var y = x;
+    if (x >= 0) {
+        out = new FileWriter();
+        o = out;
+        y = y - 1;
+    } else {
+        y = y + 1;
+    }
+    if (y > 0) {
+        out.write(x);
+        o.close();
+    }
+    return;
+}
+"""
+
+
+def alias_graph_of(source, tracked=None):
+    compiled = compile_source(source)
+    return build_alias_graph(
+        compiled.program,
+        compiled.icfet,
+        compiled.callgraph,
+        compiled.info,
+        compiled.forest,
+        tracked,
+    )
+
+
+def edges_as_tuples(result):
+    graph = result.graph
+    out = []
+    for src, dst, label_id, encoding in graph.iter_edges():
+        out.append(
+            (
+                graph.vertices.lookup(src),
+                graph.vertices.lookup(dst),
+                graph.labels.lookup(label_id),
+                encoding,
+            )
+        )
+    return out
+
+
+def test_fig5b_new_and_assign_edges():
+    result = alias_graph_of(FIG3B)
+    edges = edges_as_tuples(result)
+    # object -> out at node 2 (the true branch), as in Figure 5b.
+    new_edges = [e for e in edges if e[2] == ("new",)]
+    assert len(new_edges) == 1
+    src, dst, _label, encoding = new_edges[0]
+    assert src[0] == "obj"
+    assert dst[:2] == ("var", ()) and dst[3] == "out" and dst[4] == 2
+    assert encoding == (("I", "main", 2, 2),)
+    # out2 -> o2 assign edge.
+    assigns = [
+        e for e in edges
+        if e[2] == ("assign",) and e[0][3] == "out" and e[1][3] == "o"
+    ]
+    assert any(e[0][4] == 2 and e[1][4] == 2 for e in assigns)
+
+
+def test_fig5b_artificial_edges_with_intervals():
+    """The paper's {[0,2]} and {[2,6]} artificial assign edges."""
+    result = alias_graph_of(FIG3B)
+    edges = edges_as_tuples(result)
+    art = [
+        (e[0][3], e[0][4], e[1][4], e[3])
+        for e in edges
+        if e[2] == ("assign",) and e[0][3] == e[1][3]
+    ]
+    assert ("out", 0, 2, (("I", "main", 0, 2),)) in art
+    assert ("out", 2, 6, (("I", "main", 2, 6),)) in art
+
+
+def test_no_artificial_edge_across_branches():
+    """out@2 (then-branch) must not link to out@4 (else-subtree)."""
+    result = alias_graph_of(FIG3B)
+    edges = edges_as_tuples(result)
+    for e in edges:
+        if e[2] == ("assign",) and e[0][3] == "out" == e[1][3]:
+            assert not (e[0][4] == 2 and e[1][4] == 4)
+
+
+def test_tracked_objects_filtered_by_type():
+    source = """
+    func main() {
+        var f = new FileWriter();
+        var s = new Socket();
+    }
+    """
+    result = alias_graph_of(source, tracked={"Socket"})
+    assert len(result.tracked) == 1
+    assert result.tracked[0].type_name == "Socket"
+
+
+def test_events_recorded_with_vertices():
+    result = alias_graph_of(FIG3B)
+    methods = {(e.base, e.method) for e in result.events}
+    assert ("out", "write") in methods
+    assert ("o", "close") in methods
+
+
+def test_store_load_edges():
+    source = """
+    func main() {
+        var box = new Box();
+        var f = new FileWriter();
+        box.item = f;
+        var g = box.item;
+        g.close();
+    }
+    """
+    result = alias_graph_of(source)
+    edges = edges_as_tuples(result)
+    labels = {e[2] for e in edges}
+    assert ("store", "item") in labels
+    assert ("load", "item") in labels
+
+
+def test_param_edge_has_call_encoding():
+    source = """
+    func use(h) { h.close(); }
+    func main() {
+        var f = new FileWriter();
+        use(f);
+    }
+    """
+    result = alias_graph_of(source)
+    edges = edges_as_tuples(result)
+    param_edges = [
+        e for e in edges
+        if e[2] == ("assign",) and e[1][3] == "h" and e[1][4] == 0
+    ]
+    assert len(param_edges) == 1
+    assert param_edges[0][3][0][0] == "C"
+
+
+def test_return_edge_has_return_encoding():
+    source = """
+    func make() {
+        var f = new FileWriter();
+        return f;
+    }
+    func main() {
+        var g = make();
+        g.close();
+    }
+    """
+    result = alias_graph_of(source)
+    edges = edges_as_tuples(result)
+    ret_edges = [
+        e for e in edges
+        if e[2] == ("assign",) and e[0][3] == "f" and e[1][3] == "g"
+    ]
+    assert len(ret_edges) == 1
+    assert ret_edges[0][3][0][0] == "R"
+
+
+def test_clones_get_disjoint_vertices():
+    source = """
+    func open() {
+        var f = new FileWriter();
+        return f;
+    }
+    func main() {
+        var a = open();
+        var b = open();
+        a.close();
+        b.close();
+    }
+    """
+    result = alias_graph_of(source)
+    f_vertices = [
+        key for _id, key in result.graph.vertices.items()
+        if key[0] == "var" and key[3] == "f"
+    ]
+    contexts = {key[1] for key in f_vertices}
+    assert len(contexts) == 2  # one clone of open() per call site
+
+
+def test_exclink_produces_exceptional_return_edge():
+    source = """
+    func risky() {
+        var e = new IOException();
+        throw e;
+    }
+    func main() {
+        try { risky(); } catch (x) { }
+    }
+    """
+    result = alias_graph_of(source)
+    edges = edges_as_tuples(result)
+    exc_edges = [
+        e for e in edges
+        if e[2] == ("assign",) and e[0][3] == "__exc" and e[3][0][0] == "R"
+    ]
+    assert exc_edges, "expected an exceptional value-return edge"

@@ -1,0 +1,175 @@
+"""Unit tests for the CFG builder, call graph, and object-var inference."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.callgraph import build_call_graph, call_sites
+from repro.lang.cfg import build_cfg
+from repro.lang.parser import parse_program
+from repro.lang.transform import lower_exceptions, normalize_calls, unroll_loops
+from repro.lang.types import infer_object_vars
+
+
+def core(source, k=2):
+    program = parse_program(source)
+    normalize_calls(program)
+    unroll_loops(program, k)
+    lower_exceptions(program)
+    return program
+
+
+# -- CFG -----------------------------------------------------------------------
+
+
+def test_cfg_straight_line_single_block():
+    program = core("func main() { var x = 1; x = x + 1; }")
+    cfg = build_cfg(program.entry)
+    assert len(cfg.blocks) == 1
+    assert cfg.blocks[0].is_return
+
+
+def test_cfg_if_else_creates_diamond():
+    program = core(
+        "func main() { if (x > 0) { a(); } else { b(); } c(); }"
+    )
+    cfg = build_cfg(program.entry)
+    entry = cfg.blocks[cfg.entry]
+    assert entry.branch_cond is not None
+    assert len(entry.successors) == 2
+    # both arms join
+    t = cfg.blocks[entry.true_target]
+    f = cfg.blocks[entry.false_target]
+    assert t.goto_target == f.goto_target
+
+
+def test_cfg_return_in_branch():
+    program = core("func main() { if (x > 0) { return; } a(); }")
+    cfg = build_cfg(program.entry)
+    returns = cfg.exit_blocks
+    assert len(returns) == 2
+
+
+def test_cfg_rejects_surface_statements():
+    program = parse_program("func main() { while (x > 0) { } }")
+    with pytest.raises(ValueError):
+        build_cfg(program.entry)
+
+
+def test_cfg_edge_count():
+    program = core("func main() { if (a > 0) { } b(); }")
+    cfg = build_cfg(program.entry)
+    assert cfg.edge_count() >= 2
+
+
+# -- call graph -------------------------------------------------------------------
+
+
+def test_call_sites_found_in_nested_positions():
+    program = parse_program(
+        "func main() { if (g() > 0) { var x = f(h()); } }"
+    )
+    names = sorted(c.func for c in call_sites(program.entry))
+    assert names == ["f", "g", "h"]
+
+
+def test_call_graph_edges():
+    program = core(
+        """
+        func a() { b(); }
+        func b() { c(); }
+        func c() { }
+        func main() { a(); }
+        """
+    )
+    cg = build_call_graph(program)
+    assert cg.callees("main") == {"a"}
+    assert cg.callees("a") == {"b"}
+
+
+def test_call_graph_bottom_up_order():
+    program = core(
+        """
+        func leaf() { }
+        func mid() { leaf(); }
+        func main() { mid(); }
+        """
+    )
+    cg = build_call_graph(program)
+    order = cg.bottom_up_functions()
+    assert order.index("leaf") < order.index("mid") < order.index("main")
+
+
+def test_call_graph_scc_recursion_collapsed():
+    program = core(
+        """
+        func even(n) { odd(n - 1); }
+        func odd(n) { even(n - 1); }
+        func main() { even(4); }
+        """
+    )
+    cg = build_call_graph(program)
+    assert cg.scc_of["even"] == cg.scc_of["odd"]
+    assert cg.is_recursive_edge("even", "odd")
+    assert not cg.is_recursive_edge("main", "even")
+
+
+def test_call_graph_ignores_extern_calls():
+    program = core("func main() { println(1); }")
+    cg = build_call_graph(program)
+    assert cg.callees("main") == set()
+
+
+# -- object-var inference -----------------------------------------------------------
+
+
+def test_object_vars_from_new_and_copy():
+    program = core(
+        "func main() { var a = new File(); var b = a; var n = 3; }"
+    )
+    info = infer_object_vars(program)
+    assert info.is_object_var("main", "a")
+    assert info.is_object_var("main", "b")
+    assert not info.is_object_var("main", "n")
+
+
+def test_object_vars_through_fields():
+    program = core("func main() { box.item = a; var c = box.item; }")
+    info = infer_object_vars(program)
+    for name in ("box", "a", "c"):
+        assert info.is_object_var("main", name)
+
+
+def test_object_vars_through_params():
+    program = core(
+        """
+        func use(f) { f.close(); }
+        func main() { var a = new File(); use(a); }
+        """
+    )
+    info = infer_object_vars(program)
+    assert info.is_object_var("use", "f")
+    assert info.is_object_var("main", "a")
+
+
+def test_object_vars_through_returns():
+    program = core(
+        """
+        func make() { var f = new File(); return f; }
+        func main() { var g = make(); }
+        """
+    )
+    info = infer_object_vars(program)
+    assert "make" in info.returns_object
+    assert info.is_object_var("main", "g")
+
+
+def test_site_types_recorded():
+    program = core("func main() { var a = new Socket(); }")
+    info = infer_object_vars(program)
+    assert "Socket" in info.site_types.values()
+
+
+def test_event_base_is_object():
+    program = core("func main() { conn.open(); }")
+    info = infer_object_vars(program)
+    assert info.is_object_var("main", "conn")

@@ -1,0 +1,178 @@
+"""Unit tests for the mini-language lexer and parser."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.lexer import LexError, tokenize
+from repro.lang.parser import ParseError, parse_program
+
+
+def test_tokenize_basic():
+    tokens = tokenize("func main() { var x = 1; }")
+    kinds = [t.kind for t in tokens]
+    assert kinds[0] == "keyword"
+    assert kinds[-1] == "eof"
+
+
+def test_tokenize_comments_skipped():
+    tokens = tokenize("// a comment\nfunc // another\n")
+    texts = [t.text for t in tokens if t.kind != "eof"]
+    assert texts == ["func"]
+
+
+def test_tokenize_multichar_operators():
+    tokens = tokenize("<= >= == != && ||")
+    kinds = [t.kind for t in tokens if t.kind != "eof"]
+    assert kinds == ["<=", ">=", "==", "!=", "&&", "||"]
+
+
+def test_tokenize_line_numbers():
+    tokens = tokenize("a\nb\nc")
+    assert [t.line for t in tokens if t.kind == "ident"] == [1, 2, 3]
+
+
+def test_lex_error_on_bad_char():
+    with pytest.raises(LexError):
+        tokenize("func $")
+
+
+def test_parse_empty_function():
+    program = parse_program("func main() { }")
+    assert "main" in program.functions
+    assert program.entry.body == []
+
+
+def test_parse_params():
+    program = parse_program("func f(a, b, c) { }")
+    assert program.function("f").params == ["a", "b", "c"]
+
+
+def test_parse_var_decl_and_assign():
+    program = parse_program("func main() { var x = 3; x = x + 1; }")
+    body = program.entry.body
+    assert isinstance(body[0], ast.Assign)
+    assert body[0].target == "x"
+    assert isinstance(body[0].value, ast.IntLit)
+    assert isinstance(body[1].value, ast.Binary)
+
+
+def test_parse_var_without_initializer_is_null():
+    program = parse_program("func main() { var x; }")
+    assert isinstance(program.entry.body[0].value, ast.NullLit)
+
+
+def test_parse_new_allocates_site():
+    program = parse_program(
+        "func main() { var a = new File(); var b = new File(); }"
+    )
+    sites = [stmt.value.site for stmt in program.entry.body]
+    assert sites[0] != sites[1]
+    assert all(stmt.value.type_name == "File" for stmt in program.entry.body)
+
+
+def test_parse_event_statement():
+    program = parse_program("func main() { var f = new File(); f.close(); }")
+    event = program.entry.body[1]
+    assert isinstance(event, ast.Event)
+    assert (event.base, event.method) == ("f", "close")
+
+
+def test_parse_field_store_and_load():
+    program = parse_program("func main() { a.next = b; var c = a.next; }")
+    store, load = program.entry.body
+    assert isinstance(store, ast.FieldStore)
+    assert (store.base, store.fieldname, store.value) == ("a", "next", "b")
+    assert isinstance(load.value, ast.FieldLoad)
+    assert (load.value.base, load.value.fieldname) == ("a", "next")
+
+
+def test_parse_call_statement_and_expression():
+    program = parse_program("func main() { f(1); var x = g(2, 3); }")
+    stmt, assign = program.entry.body
+    assert isinstance(stmt, ast.ExprStmt)
+    assert stmt.call.func == "f"
+    assert isinstance(assign.value, ast.Call)
+    assert assign.value.func == "g"
+    assert stmt.call.site != assign.value.site
+
+
+def test_parse_if_else_chain():
+    program = parse_program(
+        """
+        func main() {
+            if (x > 0) { a(); } else if (x < 0) { b(); } else { c(); }
+        }
+        """
+    )
+    stmt = program.entry.body[0]
+    assert isinstance(stmt, ast.If)
+    assert isinstance(stmt.else_body[0], ast.If)
+
+
+def test_parse_while():
+    program = parse_program("func main() { while (x > 0) { x = x - 1; } }")
+    loop = program.entry.body[0]
+    assert isinstance(loop, ast.While)
+    assert len(loop.body) == 1
+
+
+def test_parse_try_catch_throw():
+    program = parse_program(
+        """
+        func main() {
+            try { var e = new IOException(); throw e; }
+            catch (err) { err.log(); }
+        }
+        """
+    )
+    trycatch = program.entry.body[0]
+    assert isinstance(trycatch, ast.TryCatch)
+    assert trycatch.catch_var == "err"
+    assert isinstance(trycatch.try_body[1], ast.Throw)
+
+
+def test_parse_return_forms():
+    program = parse_program("func f() { return; } func g() { return 1 + 2; }")
+    assert program.function("f").body[0].value is None
+    assert isinstance(program.function("g").body[0].value, ast.Binary)
+
+
+def test_parse_input():
+    program = parse_program("func main() { var x = input(); }")
+    assert isinstance(program.entry.body[0].value, ast.Input)
+
+
+def test_parse_operator_precedence():
+    program = parse_program("func main() { var b = 1 + 2 * 3 < x && y > 0; }")
+    value = program.entry.body[0].value
+    assert value.op == "&&"
+    assert value.left.op == "<"
+    assert value.left.left.op == "+"
+    assert value.left.left.right.op == "*"
+
+
+def test_parse_unary():
+    program = parse_program("func main() { var a = -x; var b = !c; }")
+    assert program.entry.body[0].value.op == "-"
+    assert program.entry.body[1].value.op == "!"
+
+
+def test_parse_error_duplicate_function():
+    with pytest.raises(ParseError):
+        parse_program("func f() { } func f() { }")
+
+
+def test_parse_error_missing_semicolon():
+    with pytest.raises(ParseError):
+        parse_program("func main() { var x = 1 }")
+
+
+def test_parse_error_unexpected_token():
+    with pytest.raises(ParseError):
+        parse_program("func main() { if x { } }")
+
+
+def test_program_entry_missing_raises():
+    program = parse_program("func helper() { }")
+    with pytest.raises(KeyError):
+        program.entry

@@ -1,0 +1,254 @@
+"""Unit tests for loop unrolling, exception lowering, call normalisation."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.parser import parse_program
+from repro.lang.transform import (
+    EXC_REGISTER,
+    THROWN_FLAG,
+    compute_may_throw,
+    lower_exceptions,
+    normalize_calls,
+    unroll_loops,
+)
+
+
+def core(source, k=2):
+    program = parse_program(source)
+    normalize_calls(program)
+    unroll_loops(program, k)
+    lower_exceptions(program)
+    return program
+
+
+def assert_core_form(body):
+    """No While/Throw/TryCatch anywhere after lowering."""
+    for stmt in ast.walk_statements(body):
+        assert not isinstance(stmt, (ast.While, ast.Throw, ast.TryCatch))
+
+
+# -- loop unrolling ---------------------------------------------------------
+
+
+def test_unroll_turns_while_into_nested_ifs():
+    program = parse_program("func main() { while (x > 0) { x = x - 1; } }")
+    unroll_loops(program, 3)
+    stmt = program.entry.body[0]
+    depth = 0
+    while isinstance(stmt, ast.If):
+        depth += 1
+        stmt = stmt.then_body[-1] if stmt.then_body else None
+        if not isinstance(stmt, ast.If):
+            break
+    assert depth >= 1
+    # Counting all nested Ifs: k copies of the condition.
+    ifs = [s for s in ast.walk_statements(program.entry.body)
+           if isinstance(s, ast.If)]
+    assert len(ifs) == 3
+
+
+def test_unroll_zero_raises():
+    program = parse_program("func main() { }")
+    with pytest.raises(ValueError):
+        unroll_loops(program, 0)
+
+
+def test_unroll_nested_loops():
+    program = parse_program(
+        "func main() { while (a > 0) { while (b > 0) { b = b - 1; } } }"
+    )
+    unroll_loops(program, 2)
+    ifs = [s for s in ast.walk_statements(program.entry.body)
+           if isinstance(s, ast.If)]
+    # outer 2 copies, each containing 2 inner copies
+    assert len(ifs) == 2 + 2 * 2
+
+
+def test_unroll_preserves_loop_body_statements():
+    program = parse_program("func main() { while (x > 0) { x = x - 1; y.m(); } }")
+    unroll_loops(program, 2)
+    events = [s for s in ast.walk_statements(program.entry.body)
+              if isinstance(s, ast.Event)]
+    assert len(events) == 2
+
+
+# -- may-throw computation ---------------------------------------------------
+
+
+def test_may_throw_direct():
+    program = parse_program(
+        "func f() { var e = new Err(); throw e; } func main() { f(); }"
+    )
+    assert compute_may_throw(program) == {"f", "main"}
+
+
+def test_may_throw_not_escaping_when_caught():
+    program = parse_program(
+        """
+        func f() {
+            try { var e = new Err(); throw e; } catch (x) { x.log(); }
+        }
+        func main() { f(); }
+        """
+    )
+    assert compute_may_throw(program) == set()
+
+
+def test_may_throw_transitive_chain():
+    program = parse_program(
+        """
+        func a() { var e = new Err(); throw e; }
+        func b() { a(); }
+        func c() { b(); }
+        """
+    )
+    assert compute_may_throw(program) == {"a", "b", "c"}
+
+
+def test_may_throw_call_inside_try_does_not_escape():
+    program = parse_program(
+        """
+        func a() { var e = new Err(); throw e; }
+        func b() { try { a(); } catch (x) { } }
+        """
+    )
+    assert compute_may_throw(program) == {"a"}
+
+
+def test_may_throw_rethrow_from_catch_escapes():
+    program = parse_program(
+        """
+        func f() {
+            try { var e = new Err(); throw e; }
+            catch (x) { throw x; }
+        }
+        """
+    )
+    assert compute_may_throw(program) == {"f"}
+
+
+# -- exception lowering --------------------------------------------------------
+
+
+def test_lowering_removes_surface_statements():
+    program = core(
+        """
+        func f() { var e = new Err(); throw e; }
+        func main() { try { f(); } catch (x) { x.log(); } }
+        """
+    )
+    assert_core_form(program.function("f").body)
+    assert_core_form(program.entry.body)
+
+
+def test_lowering_adds_throw_event_and_registers():
+    program = core("func main() { var e = new Err(); throw e; }")
+    stmts = list(ast.walk_statements(program.entry.body))
+    events = [s for s in stmts if isinstance(s, ast.Event)]
+    assert any(e.method == "throw" and e.base == "e" for e in events)
+    targets = [s.target for s in stmts if isinstance(s, ast.Assign)]
+    assert EXC_REGISTER in targets
+    assert THROWN_FLAG in targets
+
+
+def test_lowering_catch_emits_catch_event():
+    program = core(
+        """
+        func main() {
+            try { var e = new Err(); throw e; } catch (x) { }
+        }
+        """
+    )
+    events = [s for s in ast.walk_statements(program.entry.body)
+              if isinstance(s, ast.Event)]
+    methods = {e.method for e in events}
+    assert "catch" in methods and "throw" in methods
+
+
+def test_lowering_call_to_thrower_adds_exclink():
+    program = core(
+        """
+        func f() { var e = new Err(); throw e; }
+        func main() { try { f(); } catch (x) { } }
+        """
+    )
+    links = [s for s in ast.walk_statements(program.entry.body)
+             if isinstance(s, ast.ExcLink)]
+    assert len(links) == 1
+    assert links[0].callee == "f"
+
+
+def test_lowering_statements_after_throw_are_dropped():
+    program = core(
+        "func main() { var e = new Err(); throw e; e.never(); }"
+    )
+    events = [s for s in ast.walk_statements(program.entry.body)
+              if isinstance(s, ast.Event)]
+    assert all(e.method != "never" for e in events)
+
+
+def test_lowering_guards_continuation_after_maythrow_call():
+    program = core(
+        """
+        func f() { var e = new Err(); throw e; }
+        func main() { f(); var x = 1; }
+        """
+    )
+    # The statement after the call must live under a flag == 0 guard.
+    top_level_ifs = [s for s in program.entry.body if isinstance(s, ast.If)]
+    assert top_level_ifs, "expected guard ifs at top level"
+    found = False
+    for stmt in ast.walk_statements(program.entry.body):
+        if isinstance(stmt, ast.If) and isinstance(stmt.cond, ast.Binary):
+            cond = stmt.cond
+            if (
+                cond.op == "=="
+                and isinstance(cond.left, ast.VarRef)
+                and cond.left.name == THROWN_FLAG
+            ):
+                found = True
+    assert found
+
+
+# -- call normalisation ---------------------------------------------------------
+
+
+def test_normalize_hoists_call_from_expression():
+    program = parse_program("func main() { var x = f(y) + 1; }")
+    normalize_calls(program)
+    body = program.entry.body
+    assert isinstance(body[0].value, ast.Call)
+    assert isinstance(body[1].value, ast.Binary)
+
+
+def test_normalize_hoists_new_from_args():
+    program = parse_program("func main() { f(new T()); }")
+    normalize_calls(program)
+    body = program.entry.body
+    assert isinstance(body[0].value, ast.New)
+    assert isinstance(body[1], ast.ExprStmt)
+    assert isinstance(body[1].call.args[0], ast.VarRef)
+
+
+def test_normalize_hoists_call_from_return():
+    program = parse_program("func main() { return f(); }")
+    normalize_calls(program)
+    body = program.entry.body
+    assert isinstance(body[0].value, ast.Call)
+    assert isinstance(body[1], ast.Return)
+    assert isinstance(body[1].value, ast.VarRef)
+
+
+def test_normalize_hoists_call_from_condition():
+    program = parse_program("func main() { if (f() > 0) { } }")
+    normalize_calls(program)
+    body = program.entry.body
+    assert isinstance(body[0].value, ast.Call)
+    assert isinstance(body[1], ast.If)
+
+
+def test_normalize_leaves_direct_calls_alone():
+    program = parse_program("func main() { var x = f(1); g(2); }")
+    normalize_calls(program)
+    assert len(program.entry.body) == 2

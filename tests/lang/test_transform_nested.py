@@ -1,0 +1,185 @@
+"""Deeper transform-pass tests: nesting and interaction cases."""
+
+from repro.lang import ast
+from repro.lang.parser import parse_program
+from repro.lang.transform import (
+    compute_may_throw,
+    lower_exceptions,
+    normalize_calls,
+    unroll_loops,
+)
+
+
+def core(source, k=2):
+    program = parse_program(source)
+    normalize_calls(program)
+    unroll_loops(program, k)
+    lower_exceptions(program)
+    return program
+
+
+def no_surface_statements(body):
+    for stmt in ast.walk_statements(body):
+        assert not isinstance(stmt, (ast.While, ast.Throw, ast.TryCatch))
+
+
+def test_try_inside_loop_lowered():
+    program = core(
+        """
+        func main(n) {
+            var i = 0;
+            while (i < n) {
+                try {
+                    var e = new Err();
+                    throw e;
+                } catch (x) {
+                }
+                i = i + 1;
+            }
+        }
+        """
+    )
+    no_surface_statements(program.entry.body)
+    # Both unrolled iterations carry their own catch dispatch.
+    events = [s for s in ast.walk_statements(program.entry.body)
+              if isinstance(s, ast.Event) and s.method == "catch"]
+    assert len(events) == 2
+
+
+def test_loop_inside_try_lowered():
+    program = core(
+        """
+        func main(n) {
+            try {
+                var i = 0;
+                while (i < n) {
+                    i = i + 1;
+                }
+                var e = new Err();
+                throw e;
+            } catch (x) {
+            }
+        }
+        """
+    )
+    no_surface_statements(program.entry.body)
+
+
+def test_triple_nested_try():
+    program = core(
+        """
+        func main() {
+            try {
+                try {
+                    try {
+                        var e = new Err();
+                        throw e;
+                    } catch (a) {
+                        throw a;
+                    }
+                } catch (b) {
+                    throw b;
+                }
+            } catch (c) {
+            }
+        }
+        """
+    )
+    no_surface_statements(program.entry.body)
+    catches = [s for s in ast.walk_statements(program.entry.body)
+               if isinstance(s, ast.Event) and s.method == "catch"]
+    assert len(catches) == 3
+
+
+def test_throw_in_both_branches():
+    program = core(
+        """
+        func main(x) {
+            var e = new Err();
+            if (x > 0) {
+                throw e;
+            } else {
+                throw e;
+            }
+        }
+        """
+    )
+    no_surface_statements(program.entry.body)
+    throws = [s for s in ast.walk_statements(program.entry.body)
+              if isinstance(s, ast.Event) and s.method == "throw"]
+    assert len(throws) == 2
+
+
+def test_may_throw_via_branch_only():
+    program = parse_program(
+        """
+        func f(x) {
+            if (x > 0) {
+                var e = new Err();
+                throw e;
+            }
+        }
+        """
+    )
+    assert compute_may_throw(program) == {"f"}
+
+
+def test_call_in_loop_condition_normalised():
+    program = parse_program(
+        "func main() { while (probe() > 0) { var x = 1; } }"
+    )
+    normalize_calls(program)
+    loop = next(
+        s for s in program.entry.body if isinstance(s, ast.While)
+    )
+    assert isinstance(loop.cond, ast.Binary)
+    assert isinstance(loop.cond.left, ast.VarRef)  # the hoisted temp
+
+
+def test_exclink_targets_innermost_frame():
+    program = core(
+        """
+        func f() {
+            var e = new Err();
+            throw e;
+        }
+        func main() {
+            try {
+                try {
+                    f();
+                } catch (inner) {
+                }
+            } catch (outer) {
+            }
+        }
+        """
+    )
+    links = [s for s in ast.walk_statements(program.entry.body)
+             if isinstance(s, ast.ExcLink)]
+    assert len(links) == 1
+    # The ExcLink target must be the inner frame's exception register.
+    assert links[0].target.startswith("__excv")
+
+
+def test_unroll_depth_respected_in_nested_loops():
+    program = core(
+        """
+        func main(n) {
+            while (n > 0) {
+                while (n > 1) {
+                    while (n > 2) {
+                        n = n - 1;
+                    }
+                }
+            }
+        }
+        """,
+        k=2,
+    )
+    decrements = [
+        s for s in ast.walk_statements(program.entry.body)
+        if isinstance(s, ast.Assign) and s.target == "n"
+        and isinstance(s.value, ast.Binary)
+    ]
+    # 2 * 2 * 2 copies of the innermost body.
+    assert len(decrements) == 8

@@ -1,0 +1,88 @@
+"""Unit tests for the DPLL SAT core."""
+
+from repro.smt import dpll
+
+
+def _check(clauses, num_vars, assumptions=()):
+    model = dpll.solve(clauses, num_vars, assumptions)
+    if model is None:
+        return None
+    for clause in clauses:
+        assert any(model[abs(l)] == (l > 0) for l in clause), (
+            f"model does not satisfy {clause}"
+        )
+    return model
+
+
+def test_empty_formula_sat():
+    assert _check([], 0) == {}
+
+
+def test_single_unit_clause():
+    model = _check([(1,)], 1)
+    assert model[1] is True
+
+
+def test_contradictory_units_unsat():
+    assert _check([(1,), (-1,)], 1) is None
+
+
+def test_simple_implication_chain():
+    # 1, 1->2, 2->3
+    model = _check([(1,), (-1, 2), (-2, 3)], 3)
+    assert model[1] and model[2] and model[3]
+
+
+def test_requires_backtracking():
+    # (1 or 2) and (not 1 or 2) and (1 or not 2) forces 1 and 2
+    model = _check([(1, 2), (-1, 2), (1, -2)], 2)
+    assert model[1] and model[2]
+
+
+def test_unsat_full_cover():
+    clauses = [(1, 2), (1, -2), (-1, 2), (-1, -2)]
+    assert _check(clauses, 2) is None
+
+
+def test_assumptions_respected():
+    model = _check([(1, 2)], 2, assumptions=[-1])
+    assert model[1] is False and model[2] is True
+
+
+def test_conflicting_assumptions():
+    assert dpll.solve([(1, 2)], 2, assumptions=[1, -1]) is None
+
+
+def test_assumption_violating_clause_unsat():
+    assert dpll.solve([(1,)], 1, assumptions=[-1]) is None
+
+
+def test_pigeonhole_3_into_2_unsat():
+    # p_ij: pigeon i in hole j. vars: p11=1 p12=2 p21=3 p22=4 p31=5 p32=6
+    clauses = [(1, 2), (3, 4), (5, 6)]
+    for a, b in [(1, 3), (1, 5), (3, 5)]:  # hole 1 pairwise exclusion
+        clauses.append((-a, -b))
+    for a, b in [(2, 4), (2, 6), (4, 6)]:  # hole 2 pairwise exclusion
+        clauses.append((-a, -b))
+    assert _check(clauses, 6) is None
+
+
+def test_blocking_clause_enumeration():
+    clauses = [(1, 2)]
+    models = []
+    for _ in range(4):
+        model = dpll.solve(clauses, 2)
+        if model is None:
+            break
+        models.append((model[1], model[2]))
+        clauses.append(tuple(-v if model[v] else v for v in (1, 2)))
+    assert len(set(models)) == 3  # all assignments except (False, False)
+
+
+def test_cnf_builder_atom_vars_are_stable():
+    b = dpll.CnfBuilder()
+    v1 = b.atom_var("a")
+    v2 = b.atom_var("b")
+    assert v1 != v2
+    assert b.atom_var("a") == v1
+    assert b.num_vars == 2

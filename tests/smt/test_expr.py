@@ -1,0 +1,121 @@
+"""Unit tests for the SMT expression algebra."""
+
+import pytest
+
+from repro.smt import expr as E
+
+
+def test_int_const_folding_add():
+    assert E.add(E.IntConst(2), E.IntConst(3)) == E.IntConst(5)
+
+
+def test_int_const_folding_mul():
+    assert E.mul(E.IntConst(2), E.IntConst(3)) == E.IntConst(6)
+
+
+def test_add_zero_identity():
+    x = E.IntVar("x")
+    assert E.add(x, E.IntConst(0)) is x
+    assert E.add(E.IntConst(0), x) is x
+
+
+def test_mul_one_identity():
+    x = E.IntVar("x")
+    assert E.mul(x, E.IntConst(1)) is x
+    assert E.mul(E.IntConst(1), x) is x
+
+
+def test_mul_zero_annihilates():
+    x = E.IntVar("x")
+    assert E.mul(x, E.IntConst(0)) == E.IntConst(0)
+
+
+def test_sub_is_add_of_negation():
+    x, y = E.IntVar("x"), E.IntVar("y")
+    d = E.sub(x, y)
+    assert d.kind == E.ADD
+
+
+def test_comparison_constant_folding():
+    assert E.lt(E.IntConst(1), E.IntConst(2)) is E.TRUE
+    assert E.ge(E.IntConst(1), E.IntConst(2)) is E.FALSE
+    assert E.eq(E.IntConst(3), E.IntConst(3)) is E.TRUE
+    assert E.ne(E.IntConst(3), E.IntConst(3)) is E.FALSE
+
+
+def test_gt_ge_are_swapped_lt_le():
+    x, y = E.IntVar("x"), E.IntVar("y")
+    assert E.gt(x, y) == E.lt(y, x)
+    assert E.ge(x, y) == E.le(y, x)
+
+
+def test_and_short_circuits():
+    b = E.BoolVar("b")
+    assert E.and_(b, E.FALSE) is E.FALSE
+    assert E.and_(b, E.TRUE) is b
+    assert E.and_() is E.TRUE
+
+
+def test_or_short_circuits():
+    b = E.BoolVar("b")
+    assert E.or_(b, E.TRUE) is E.TRUE
+    assert E.or_(b, E.FALSE) is b
+    assert E.or_() is E.FALSE
+
+
+def test_and_flattens_nested():
+    a, b, c = E.BoolVar("a"), E.BoolVar("b"), E.BoolVar("c")
+    e = E.and_(E.and_(a, b), c)
+    assert e.kind == E.AND
+    assert len(e.args) == 3
+
+
+def test_not_double_negation():
+    b = E.BoolVar("b")
+    assert E.not_(E.not_(b)) is b
+
+
+def test_not_pushes_through_comparisons():
+    x, y = E.IntVar("x"), E.IntVar("y")
+    assert E.not_(E.lt(x, y)) == E.le(y, x)
+    assert E.not_(E.le(x, y)) == E.lt(y, x)
+    assert E.not_(E.eq(x, y)) == E.ne(x, y)
+    assert E.not_(E.ne(x, y)) == E.eq(x, y)
+
+
+def test_not_of_constants():
+    assert E.not_(E.TRUE) is E.FALSE
+    assert E.not_(E.FALSE) is E.TRUE
+
+
+def test_implies_expansion():
+    a, b = E.BoolVar("a"), E.BoolVar("b")
+    e = E.implies(a, b)
+    assert e.kind == E.OR
+
+
+def test_expr_hashable_and_equal():
+    x1 = E.add(E.IntVar("x"), E.IntConst(1))
+    x2 = E.add(E.IntVar("x"), E.IntConst(1))
+    assert x1 == x2
+    assert hash(x1) == hash(x2)
+    assert len({x1, x2}) == 1
+
+
+def test_variables_collected():
+    e = E.and_(E.lt(E.IntVar("x"), E.IntVar("y")), E.BoolVar("b"))
+    assert e.variables() == frozenset({"x", "y", "b"})
+
+
+def test_sort_mismatch_raises():
+    with pytest.raises(TypeError):
+        E.add(E.IntVar("x"), E.BoolVar("b"))
+    with pytest.raises(TypeError):
+        E.and_(E.IntVar("x"))
+    with pytest.raises(TypeError):
+        E.lt(E.IntVar("x"), E.BoolVar("b"))
+
+
+def test_repr_is_readable():
+    e = E.lt(E.IntVar("x"), E.IntConst(3))
+    assert "x" in repr(e) and "<" in repr(e)

@@ -1,0 +1,134 @@
+"""Unit tests for the Fourier-Motzkin LIA decision procedure."""
+
+from repro.smt import expr as E
+from repro.smt.fourier_motzkin import check_conjunction
+from repro.smt.linear import atom_from_comparison
+
+
+def _atoms(*exprs):
+    return [atom_from_comparison(e) for e in exprs]
+
+
+X, Y, Z = E.IntVar("x"), E.IntVar("y"), E.IntVar("z")
+
+
+def test_empty_conjunction_is_sat():
+    assert check_conjunction([])
+
+
+def test_single_inequality_sat():
+    assert check_conjunction(_atoms(E.lt(X, E.IntConst(10))))
+
+
+def test_contradictory_bounds_unsat():
+    assert not check_conjunction(_atoms(E.lt(X, E.IntConst(0)), E.gt(X, E.IntConst(0))))
+
+
+def test_boundary_le_ge_sat():
+    assert check_conjunction(_atoms(E.le(X, E.IntConst(5)), E.ge(X, E.IntConst(5))))
+
+
+def test_strict_boundary_unsat():
+    assert not check_conjunction(_atoms(E.lt(X, E.IntConst(5)), E.gt(X, E.IntConst(5))))
+
+
+def test_transitive_chain_unsat():
+    # x < y, y < z, z < x
+    assert not check_conjunction(_atoms(E.lt(X, Y), E.lt(Y, Z), E.lt(Z, X)))
+
+
+def test_transitive_chain_sat():
+    assert check_conjunction(_atoms(E.lt(X, Y), E.lt(Y, Z)))
+
+
+def test_equality_substitution():
+    # y == x + 1, x < 0, y > 0  is UNSAT over integers (paper's Fig. 3 path 3)
+    atoms = _atoms(
+        E.eq(Y, E.add(X, E.IntConst(1))),
+        E.lt(X, E.IntConst(0)),
+        E.gt(Y, E.IntConst(0)),
+    )
+    assert not check_conjunction(atoms)
+
+
+def test_equality_substitution_feasible_branch():
+    # y == x - 1, x >= 0, y > 0 is SAT (x = 2)
+    atoms = _atoms(
+        E.eq(Y, E.sub(X, E.IntConst(1))),
+        E.ge(X, E.IntConst(0)),
+        E.gt(Y, E.IntConst(0)),
+    )
+    assert check_conjunction(atoms)
+
+
+def test_chained_equalities():
+    # x == y, y == z, x != z is UNSAT
+    atoms = _atoms(E.eq(X, Y), E.eq(Y, Z), E.ne(X, Z))
+    assert not check_conjunction(atoms)
+
+
+def test_ground_equality_conflict():
+    atoms = _atoms(E.eq(X, E.IntConst(1)), E.eq(X, E.IntConst(2)))
+    assert not check_conjunction(atoms)
+
+
+def test_disequality_split_sat():
+    # x >= 0, x != 0 is SAT (x = 1)
+    assert check_conjunction(_atoms(E.ge(X, E.IntConst(0)), E.ne(X, E.IntConst(0))))
+
+
+def test_disequality_pins_unsat():
+    # x == 3, x != 3 is UNSAT
+    assert not check_conjunction(_atoms(E.eq(X, E.IntConst(3)), E.ne(X, E.IntConst(3))))
+
+
+def test_integer_tightening_strict_window():
+    # 0 < x < 1 has no integer solution; tightening catches it.
+    atoms = _atoms(E.gt(X, E.IntConst(0)), E.lt(X, E.IntConst(1)))
+    assert not check_conjunction(atoms)
+
+
+def test_integer_tightening_scaled():
+    # 1 < 3x < 2 has a rational solution but no integer one; the gcd-floor
+    # tightening catches it.
+    three_x = E.mul(E.IntConst(3), X)
+    atoms = _atoms(E.gt(three_x, E.IntConst(1)), E.lt(three_x, E.IntConst(2)))
+    assert not check_conjunction(atoms)
+
+
+def test_integer_tightening_scaled_sat_window():
+    # 1 < 2x < 3 admits x = 1; tightening must not over-tighten.
+    two_x = E.mul(E.IntConst(2), X)
+    atoms = _atoms(E.gt(two_x, E.IntConst(1)), E.lt(two_x, E.IntConst(3)))
+    assert check_conjunction(atoms)
+
+
+def test_parameter_passing_example():
+    # Paper Fig. 6: x > 0 & a == 2x & a < 0 & y == a + 1 & not(y < 0)
+    A = E.IntVar("a")
+    atoms = _atoms(
+        E.gt(X, E.IntConst(0)),
+        E.eq(A, E.mul(E.IntConst(2), X)),
+        E.lt(A, E.IntConst(0)),
+        E.eq(Y, E.add(A, E.IntConst(1))),
+        E.ge(Y, E.IntConst(0)),
+    )
+    assert not check_conjunction(atoms)
+
+
+def test_many_variables_elimination():
+    # x1 < x2 < ... < x8, all bounded; consistent.
+    vs = [E.IntVar(f"v{i}") for i in range(8)]
+    exprs = [E.lt(vs[i], vs[i + 1]) for i in range(7)]
+    exprs.append(E.ge(vs[0], E.IntConst(0)))
+    exprs.append(E.le(vs[7], E.IntConst(100)))
+    assert check_conjunction(_atoms(*exprs))
+
+
+def test_many_variables_elimination_unsat():
+    # x1 < ... < x8 but only 3 integers of room.
+    vs = [E.IntVar(f"v{i}") for i in range(8)]
+    exprs = [E.lt(vs[i], vs[i + 1]) for i in range(7)]
+    exprs.append(E.ge(vs[0], E.IntConst(0)))
+    exprs.append(E.le(vs[7], E.IntConst(3)))
+    assert not check_conjunction(exprs and _atoms(*exprs))

@@ -1,0 +1,92 @@
+"""Unit tests for linearisation of arithmetic expressions."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.smt import expr as E
+from repro.smt.linear import (
+    LinearAtom,
+    NonLinearError,
+    atom_from_comparison,
+    linearize,
+)
+
+
+def test_linearize_constant():
+    coeffs, const = linearize(E.IntConst(7))
+    assert coeffs == {} and const == 7
+
+
+def test_linearize_variable():
+    coeffs, const = linearize(E.IntVar("x"))
+    assert coeffs == {"x": 1} and const == 0
+
+
+def test_linearize_sum_merges_coefficients():
+    x = E.IntVar("x")
+    coeffs, const = linearize(E.add(E.add(x, x), E.IntConst(4)))
+    assert coeffs == {"x": 2} and const == 4
+
+
+def test_linearize_cancellation_drops_zero_coeff():
+    x = E.IntVar("x")
+    coeffs, const = linearize(E.sub(x, x))
+    assert coeffs == {} and const == 0
+
+
+def test_linearize_scalar_multiplication():
+    x = E.IntVar("x")
+    coeffs, const = linearize(E.mul(E.IntConst(3), E.add(x, E.IntConst(2))))
+    assert coeffs == {"x": 3} and const == 6
+
+
+def test_linearize_rejects_variable_product():
+    x, y = E.IntVar("x"), E.IntVar("y")
+    with pytest.raises(NonLinearError):
+        linearize(E.mul(x, y))
+
+
+def test_atom_from_lt():
+    # x < y  ==>  x - y < 0
+    atom = atom_from_comparison(E.lt(E.IntVar("x"), E.IntVar("y")))
+    assert atom.rel == "<"
+    assert dict(atom.coeffs) == {"x": 1, "y": -1}
+    assert atom.const == 0
+
+
+def test_atom_from_ge():
+    # x >= 3 is built as 3 <= x  ==>  3 - x <= 0
+    atom = atom_from_comparison(E.ge(E.IntVar("x"), E.IntConst(3)))
+    assert atom.rel == "<="
+    assert dict(atom.coeffs) == {"x": -1}
+    assert atom.const == 3
+
+
+def test_atom_negation_le():
+    atom = atom_from_comparison(E.le(E.IntVar("x"), E.IntConst(0)))
+    negated = atom.negated()
+    assert negated.rel == "<"
+    assert dict(negated.coeffs) == {"x": -1}
+
+
+def test_atom_negation_eq_is_ne():
+    atom = atom_from_comparison(E.eq(E.IntVar("x"), E.IntConst(0)))
+    assert atom.negated().rel == "!="
+    assert atom.negated().negated() == atom
+
+
+def test_atom_is_hashable():
+    a1 = atom_from_comparison(E.lt(E.IntVar("x"), E.IntConst(1)))
+    a2 = atom_from_comparison(E.lt(E.IntVar("x"), E.IntConst(1)))
+    assert a1 == a2 and hash(a1) == hash(a2)
+
+
+def test_atom_variables():
+    atom = atom_from_comparison(E.lt(E.IntVar("x"), E.IntVar("y")))
+    assert atom.variables() == frozenset({"x", "y"})
+
+
+def test_atom_from_non_comparison_raises():
+    with pytest.raises(ValueError):
+        atom_from_comparison(E.BoolVar("b"))

@@ -1,0 +1,85 @@
+"""Unit and property tests for the s-expression constraint codec."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt import expr as E
+from repro.smt.sexpr import parse_expr, serialize_expr
+
+
+def roundtrip(expr):
+    return parse_expr(serialize_expr(expr))
+
+
+def test_constants():
+    assert roundtrip(E.IntConst(42)) == E.IntConst(42)
+    assert roundtrip(E.IntConst(-5)) == E.IntConst(-5)
+    assert roundtrip(E.TRUE) is E.TRUE
+    assert roundtrip(E.FALSE) is E.FALSE
+
+
+def test_variables_with_namespaced_names():
+    var = E.IntVar("foo::ret_occ3@2")
+    assert roundtrip(var) == var
+    assert roundtrip(E.BoolVar("main::opaque_1_0")) == E.BoolVar("main::opaque_1_0")
+
+
+def test_arithmetic():
+    expr = E.add(E.mul(E.IntConst(2), E.IntVar("x")), E.IntConst(1))
+    assert roundtrip(expr) == expr
+
+
+def test_comparisons():
+    x, y = E.IntVar("x"), E.IntVar("y")
+    for op in (E.lt, E.le, E.eq, E.ne):
+        assert roundtrip(op(x, y)) == op(x, y)
+
+
+def test_boolean_connectives():
+    a, b = E.BoolVar("a"), E.BoolVar("b")
+    expr = E.or_(E.and_(a, b), E.not_(a))
+    assert roundtrip(expr) == expr
+
+
+def test_flattened_and_roundtrips():
+    terms = [E.lt(E.IntVar(f"v{i}"), E.IntConst(i)) for i in range(5)]
+    expr = E.and_(*terms)
+    assert roundtrip(expr) == expr
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises((ValueError, IndexError)):
+        parse_expr("(unknown thing)")
+    with pytest.raises((ValueError, IndexError)):
+        parse_expr("(int 3) trailing")
+
+
+# -- property-based -----------------------------------------------------------
+
+_names = st.sampled_from(["x", "y", "foo::a", "bar::ret@1"])
+
+
+@st.composite
+def bool_exprs(draw, depth=3):
+    if depth == 0:
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return E.BoolVar(draw(_names))
+        left = E.IntVar(draw(_names))
+        right = E.IntConst(draw(st.integers(-10, 10)))
+        op = draw(st.sampled_from([E.lt, E.le, E.eq, E.ne]))
+        return op(left, right)
+    choice = draw(st.integers(0, 3))
+    if choice == 0:
+        return E.not_(draw(bool_exprs(depth=depth - 1)))
+    if choice <= 2:
+        a = draw(bool_exprs(depth=depth - 1))
+        b = draw(bool_exprs(depth=depth - 1))
+        return (E.and_ if choice == 1 else E.or_)(a, b)
+    return draw(bool_exprs(depth=0))
+
+
+@settings(max_examples=100, deadline=None)
+@given(bool_exprs())
+def test_roundtrip_identity(expr):
+    assert roundtrip(expr) == expr

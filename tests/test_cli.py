@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+BUGGY = """
+func main(x) {
+    var f = new FileWriter();
+    f.write(x);
+    return;
+}
+"""
+
+CLEAN = """
+func main(x) {
+    var f = new FileWriter();
+    f.write(x);
+    f.close();
+    return;
+}
+"""
+
+
+@pytest.fixture()
+def source_file(tmp_path):
+    def write(text):
+        path = tmp_path / "prog.mini"
+        path.write_text(text)
+        return str(path)
+
+    return write
+
+
+def test_check_reports_bug_exit_code(source_file, capsys):
+    code = main(["check", source_file(BUGGY), "--checkers", "io"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "FileWriter" in out
+
+
+def test_check_clean_exit_zero(source_file, capsys):
+    code = main(["check", source_file(CLEAN), "--checkers", "io"])
+    assert code == 0
+    assert "0 warning(s)" in capsys.readouterr().out
+
+
+def test_check_stats_flag(source_file, capsys):
+    main(["check", source_file(CLEAN), "--checkers", "io", "--stats"])
+    out = capsys.readouterr().out
+    assert "constraints solved" in out
+    assert "cache hit rate" in out
+
+
+def test_check_unknown_checker_fails(source_file):
+    with pytest.raises(KeyError):
+        main(["check", source_file(CLEAN), "--checkers", "nope"])
+
+
+def test_subjects_lists_four(capsys):
+    assert main(["subjects"]) == 0
+    out = capsys.readouterr().out
+    for name in ("zookeeper", "hadoop", "hdfs", "hbase"):
+        assert name in out
+
+
+def test_generate_to_stdout(capsys):
+    assert main(["generate", "zookeeper", "--scale", "0.05"]) == 0
+    captured = capsys.readouterr()
+    assert "func" in captured.out
+    assert "seeded:" in captured.err
+
+
+def test_generate_to_file(tmp_path, capsys):
+    out_path = tmp_path / "subject.mini"
+    main(["generate", "hdfs", "--scale", "0.05", "-o", str(out_path)])
+    assert out_path.exists()
+    assert "func" in out_path.read_text()

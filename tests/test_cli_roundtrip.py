@@ -1,0 +1,59 @@
+"""End-to-end CLI roundtrip: generate a subject, then check it."""
+
+import pytest
+
+from repro.cli import main
+from repro.workloads import build_subject
+
+
+@pytest.mark.slow
+def test_generate_then_check_roundtrip(tmp_path, capsys):
+    out_path = tmp_path / "subject.mini"
+    assert main(["generate", "zookeeper", "--scale", "0.05",
+                 "-o", str(out_path)]) == 0
+    capsys.readouterr()  # drain
+
+    # The generated subject seeds real bugs, so `check` must exit 1 and
+    # report warnings for every seeded checker.
+    code = main(["check", str(out_path), "--stats"])
+    out = capsys.readouterr().out
+    assert code == 1
+    subject = build_subject("zookeeper", scale=0.05)
+    expected_checkers = {s.checker for s in subject.seeds}
+    for checker in expected_checkers:
+        assert f"[{checker}]" in out
+    assert "constraints solved" in out
+
+
+def test_check_single_checker_scopes_report(tmp_path, capsys):
+    path = tmp_path / "p.mini"
+    path.write_text(
+        """
+        func main() {
+            var f = new FileWriter();
+            var s = new Socket();
+            s.connect(1);
+        }
+        """
+    )
+    main(["check", str(path), "--checkers", "socket"])
+    out = capsys.readouterr().out
+    assert "[socket]" in out
+    assert "[io]" not in out
+
+
+def test_check_memory_budget_flag(tmp_path, capsys):
+    path = tmp_path / "p.mini"
+    path.write_text("func main() { var f = new FileWriter(); f.close(); }")
+    code = main(["check", str(path), "--memory-budget", "1", "--stats"])
+    assert code == 0
+    assert "partitions" in capsys.readouterr().out
+
+
+def test_check_no_cache_flag(tmp_path, capsys):
+    path = tmp_path / "p.mini"
+    path.write_text("func main() { var f = new FileWriter(); f.close(); }")
+    code = main(["check", str(path), "--no-cache", "--stats"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "cache hit rate      : 0%" in out
