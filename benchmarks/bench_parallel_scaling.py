@@ -1,0 +1,152 @@
+"""Parallel engine scaling: wall-clock vs. worker count.
+
+Runs the end-to-end pipeline (``Grapple.run``) on the ``hadoop`` subject
+with workers 1 (the serial engine), 2, and 4, and writes the measured
+wall-clocks to ``BENCH_parallel_scaling.json`` at the repository root so
+the perf trajectory is tracked across PRs.
+
+The configuration deliberately stresses the partition machinery: a large
+scale and a tight memory budget give the store a few dozen partitions,
+which is where the wave protocol's semi-naive delta seeding and the
+coordinator's join-index pair skipping pay off.  Every measurement runs
+in a fresh interpreter (heap growth from earlier runs would otherwise
+tax later ones), rounds are interleaved across worker counts so clock
+drift hits every configuration equally, and per-worker wall-clock is the
+best of ``ROUNDS`` runs (the engines are deterministic; the variance is
+all machine noise, so min is the honest estimator).
+
+Runnable standalone (``PYTHONPATH=src python benchmarks/bench_parallel_scaling.py``)
+or under pytest with the rest of the bench suite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+SUBJECT = "hadoop"
+SCALE = 4.0
+MEMORY_BUDGET_MB = 1
+WORKER_COUNTS = (1, 2, 4)
+ROUNDS = 3
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OUTPUT = os.path.join(ROOT, "BENCH_parallel_scaling.json")
+
+
+def _measure_in_this_process(workers: int) -> dict:
+    """One timed ``Grapple.run`` (subject build excluded from the wall)."""
+    import time
+
+    from repro import (
+        EngineOptions,
+        Grapple,
+        GrappleOptions,
+        default_checkers,
+    )
+    from repro.workloads import build_subject
+
+    source = build_subject(SUBJECT, scale=SCALE).source
+    fsms = [c.fsm for c in default_checkers()]
+    options = GrappleOptions(
+        engine=EngineOptions(
+            memory_budget=MEMORY_BUDGET_MB << 20, workers=workers
+        )
+    )
+    start = time.perf_counter()
+    run = Grapple(source, fsms, options).run()
+    wall = time.perf_counter() - start
+    fingerprint = sorted(
+        (w.checker, w.kind, w.site, w.state) for w in run.report.warnings
+    )
+    return {
+        "wall_s": round(wall, 3),
+        "pairs_processed": run.stats.pairs_processed,
+        "warnings": len(run.report.warnings),
+        "fingerprint": fingerprint,
+    }
+
+
+def _measure_in_subprocess(workers: int) -> dict:
+    env = dict(os.environ)
+    src = os.path.join(ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, os.path.abspath(__file__), "--one", str(workers)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(out.stdout)
+
+
+def collect() -> dict:
+    samples: dict = {workers: [] for workers in WORKER_COUNTS}
+    for _ in range(ROUNDS):
+        for workers in WORKER_COUNTS:
+            samples[workers].append(_measure_in_subprocess(workers))
+    reference = samples[WORKER_COUNTS[0]][0]["fingerprint"]
+    results: dict = {}
+    for workers, runs in samples.items():
+        for entry in runs:
+            if entry["fingerprint"] != reference:
+                raise AssertionError(
+                    f"workers={workers} changed the report: parallel"
+                    " engine is not deterministic"
+                )
+        walls = [entry["wall_s"] for entry in runs]
+        results[str(workers)] = {
+            "wall_s": walls,
+            "best_s": min(walls),
+            "pairs_processed": runs[-1]["pairs_processed"],
+            "warnings": runs[-1]["warnings"],
+        }
+    serial_best = results["1"]["best_s"]
+    return {
+        "subject": SUBJECT,
+        "scale": SCALE,
+        "memory_budget_mb": MEMORY_BUDGET_MB,
+        "rounds": ROUNDS,
+        "cpu_count": os.cpu_count(),
+        "results": results,
+        "speedup_vs_serial": {
+            str(w): round(serial_best / results[str(w)]["best_s"], 3)
+            for w in WORKER_COUNTS
+        },
+    }
+
+
+def write_report() -> dict:
+    report = collect()
+    with open(OUTPUT, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    return report
+
+
+def test_parallel_scaling(capsys):
+    report = write_report()
+    with capsys.disabled():
+        print(f"\n=== Parallel scaling ({SUBJECT}, scale {SCALE}) ===")
+        for workers in WORKER_COUNTS:
+            entry = report["results"][str(workers)]
+            speedup = report["speedup_vs_serial"][str(workers)]
+            print(
+                f"workers={workers}: best {entry['best_s']:.2f}s"
+                f" ({speedup:.2f}x vs serial,"
+                f" {entry['pairs_processed']} pairs)"
+            )
+    for workers in WORKER_COUNTS:
+        assert report["results"][str(workers)]["warnings"] == (
+            report["results"]["1"]["warnings"]
+        )
+
+
+if __name__ == "__main__":
+    if len(sys.argv) == 3 and sys.argv[1] == "--one":
+        print(json.dumps(_measure_in_this_process(int(sys.argv[2]))))
+    else:
+        print(json.dumps(write_report(), indent=2))

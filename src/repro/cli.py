@@ -45,6 +45,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="loop unroll bound (default 2)")
     check.add_argument("--memory-budget", type=int, default=64,
                        help="engine memory budget in MiB (default 64)")
+    check.add_argument("--workers", type=int, default=1,
+                       help="parallel partition-pair workers (default 1,"
+                       " i.e. the serial engine)")
     check.add_argument("--no-cache", action="store_true",
                        help="disable constraint memoisation")
     check.add_argument("--stats", action="store_true",
@@ -77,6 +80,7 @@ def cmd_check(args) -> int:
         engine=EngineOptions(
             memory_budget=args.memory_budget << 20,
             enable_cache=not args.no_cache,
+            workers=args.workers,
         ),
     )
     run = Grapple(source, [c.fsm for c in checkers], options).run()

@@ -22,6 +22,8 @@ from repro.cfet import encoding as enc_mod
 from repro.cfet.icfet import Icfet
 from repro.engine.cache import LRUCache
 from repro.engine.partition import Partition, PartitionStore
+from repro.engine.scheduling import PairScheduler
+from repro.engine.serialize import estimate_edge_bytes
 from repro.engine.stats import EngineStats
 from repro.grammar.cfg_grammar import ComposeContext, Grammar
 from repro.graph.model import ProgramGraph
@@ -55,6 +57,21 @@ class EngineOptions:
     # baseline did not terminate in 200 hours on HBase -- the budget lets
     # the benchmark report "timeout" instead of hanging.
     time_budget: float | None = None
+    # Number of worker processes for the partition-pair computation.
+    # 1 keeps the serial in-process path (the correctness oracle); >1
+    # dispatches waves of disjoint pairs to a multiprocessing pool (see
+    # repro.engine.parallel).
+    workers: int = 1
+    # How the parallel path runs pair tasks: "auto" forks a pool only
+    # when the machine has more than one CPU (otherwise every task runs
+    # in the coordinator process -- same wave protocol, no IPC); "fork"
+    # always forks `workers` processes; "inline" never forks.
+    parallel_dispatch: str = "auto"
+    # Partition floor for the parallel path: more partitions widen the
+    # waves (up to P // 2 disjoint pairs in flight).  None derives
+    # 2 * effective workers; the serial path ignores this and uses
+    # min_partitions.
+    parallel_min_partitions: int | None = None
 
 
 @dataclass
@@ -124,6 +141,10 @@ class GraphEngine:
         self._decode_cache: dict = {}
         self._compose_memo: dict = {}
         self._table_driven = getattr(grammar, "table_driven", False)
+        # Optional callback ``(src, dst, label_id, encoding)`` invoked for
+        # every new edge inserted into a *loaded* partition; the parallel
+        # worker uses it to report delta edges back to the coordinator.
+        self._new_edge_sink = None
 
     # -- public API ----------------------------------------------------------
 
@@ -153,6 +174,15 @@ class GraphEngine:
         if self.options.time_budget is not None:
             self._deadline = time.perf_counter() + self.options.time_budget
         self.timed_out = False
+        parallel = self.options.workers > 1
+        min_partitions = self.options.min_partitions
+        if parallel:
+            from repro.engine.parallel import effective_workers
+
+            floor = self.options.parallel_min_partitions
+            if floor is None:
+                floor = 2 * effective_workers(self.options)
+            min_partitions = max(min_partitions, floor)
         with stats.timing("preprocess_time"):
             self._seed_derived(graph)
             if self.options.constraint_mode == "string":
@@ -160,21 +190,34 @@ class GraphEngine:
             stats.edges_before = graph.edge_count()
             stats.vertices = len(graph.vertices)
             store = PartitionStore(workdir, self.options.memory_budget, stats)
-            store.initialize(
-                graph.edges, len(graph.vertices), self.options.min_partitions
-            )
+            store.initialize(graph.edges, len(graph.vertices), min_partitions)
         self._graph = graph
         self._store = store
         self._ctx = ComposeContext(
             feasible=self._feasible, vertex=graph.vertices.lookup
         )
 
-        last_seen: dict = {}
+        if parallel:
+            from repro.engine.parallel import ParallelCoordinator
+
+            ParallelCoordinator(self).run()
+        else:
+            self._serial_loop()
+
+        store.flush()
+        stats.edges_after = store.total_edges()
+        stats.final_partitions = len(store.partitions)
+        result = EngineResult(stats=stats, store=store, graph=graph)
+        return result
+
+    def _serial_loop(self) -> None:
+        stats = self.stats
+        store = self._store
+        scheduler = PairScheduler(store)
         while True:
-            pair = self._next_pair(store, last_seen)
+            pair = scheduler.next_pair()
             if pair is None:
                 break
-            i, j = pair
             if (
                 self.options.max_pairs is not None
                 and stats.pairs_processed >= self.options.max_pairs
@@ -184,17 +227,12 @@ class GraphEngine:
                 self.timed_out = True
                 stats.timed_out = True
                 break
-            captured = (store.partitions[i].version, store.partitions[j].version)
-            self._process_pair(i, j)
-            last_seen[(i, j)] = captured
+            captured = scheduler.captured_versions(pair)
+            scheduler.pop_pair(pair)
+            self._process_pair(*pair)
+            scheduler.mark_processed(pair, captured)
             stats.pairs_processed += 1
             stats.iterations = stats.pairs_processed
-
-        store.flush()
-        stats.edges_after = store.total_edges()
-        stats.final_partitions = len(store.partitions)
-        result = EngineResult(stats=stats, store=store, graph=graph)
-        return result
 
     def _seed_derived(self, graph: ProgramGraph) -> None:
         """Apply grammar derivations to the initial edges (e.g. flowsTo
@@ -218,17 +256,6 @@ class GraphEngine:
                         )
                     )
 
-    def _next_pair(self, store: PartitionStore, last_seen: dict):
-        n = len(store.partitions)
-        for i in range(n):
-            vi = store.partitions[i].version
-            for j in range(i, n):
-                vj = store.partitions[j].version
-                seen = last_seen.get((i, j))
-                if seen is None or vi > seen[0] or vj > seen[1]:
-                    return (i, j)
-        return None
-
     # -- pair processing ---------------------------------------------------------
 
     def _process_pair(self, i: int, j: int) -> None:
@@ -248,14 +275,8 @@ class GraphEngine:
             return None
 
         frontier: list = []
-        relevant_source = self.grammar.relevant_source
         labels = self._graph.labels
-        for index, edges in loaded.items():
-            for src, targets in edges.items():
-                for (dst, label_id), encodings in targets.items():
-                    if relevant_source(labels.lookup(label_id)):
-                        for encoding in encodings:
-                            frontier.append((src, dst, label_id, encoding))
+        self._seed_pair((i, j), loaded, parts, spills, dirty, frontier)
 
         compute_start = time.perf_counter()
         accounted = (
@@ -278,8 +299,34 @@ class GraphEngine:
                     )
 
         self._flush_spills(spills)
-        # Save loaded partitions (splitting any still-oversized ones;
-        # split() persists both halves itself).
+        self._finalize_pair(loaded, parts, dirty)
+        elapsed = time.perf_counter() - compute_start
+        newly_accounted = (
+            self.stats.io_time + self.stats.encode_time + self.stats.smt_time
+        ) - accounted
+        self.stats.compute_time += max(0.0, elapsed - newly_accounted)
+
+    def _seed_pair(self, pair, loaded, parts, spills, dirty, frontier) -> None:
+        """Build the initial frontier for one pair processing.
+
+        The serial engine reseeds with *every* relevant-source edge of the
+        loaded partitions and recomposes from scratch; the parallel
+        engine's workers override this with delta seeding (only edges new
+        since the pair was last processed).
+        """
+        relevant_source = self.grammar.relevant_source
+        labels = self._graph.labels
+        for index, edges in loaded.items():
+            for src, targets in edges.items():
+                for (dst, label_id), encodings in targets.items():
+                    if relevant_source(labels.lookup(label_id)):
+                        for encoding in encodings:
+                            frontier.append((src, dst, label_id, encoding))
+
+    def _finalize_pair(self, loaded, parts, dirty) -> None:
+        """Persist the pair's loaded partitions (splitting any
+        still-oversized ones; split() persists both halves itself)."""
+        store = self._store
         for index in list(loaded):
             part, edges = parts[index], loaded[index]
             was_split = False
@@ -291,11 +338,6 @@ class GraphEngine:
             parts[index], loaded[index] = part, edges
             if index in dirty and not was_split:
                 store.save(part, edges)
-        elapsed = time.perf_counter() - compute_start
-        newly_accounted = (
-            self.stats.io_time + self.stats.encode_time + self.stats.smt_time
-        ) - accounted
-        self.stats.compute_time += max(0.0, elapsed - newly_accounted)
 
     def _compose_edges(
         self, edge1, edge2, loaded, parts, spills, dirty, frontier
@@ -364,8 +406,8 @@ class GraphEngine:
         slot.add(encoding)
         stats.new_edges += 1
         if owner_index is not None:
-            from repro.engine.serialize import estimate_edge_bytes
-
+            if self._new_edge_sink is not None:
+                self._new_edge_sink(owner_index, src, dst, label_id, encoding)
             owner = parts[owner_index]
             dirty.add(owner_index)
             owner.version += 1

@@ -1,0 +1,789 @@
+"""Multiprocess partition-pair computation (coordinator + workers).
+
+The closure over partition pairs is embarrassingly partition-parallel:
+two pairs that share no partition read and write disjoint data.  The
+coordinator therefore repeatedly selects a *wave* of mutually disjoint
+eligible pairs (:meth:`repro.engine.scheduling.PairScheduler.select_wave`)
+and dispatches them to a persistent ``multiprocessing`` pool:
+
+* each **worker** loads its two partitions from the on-disk store
+  (through a version-validated, worker-local decoded-partition cache),
+  runs the join/compose/feasibility loop with a worker-local LRU and
+  decode cache, buffers edges owned by unloaded partitions as spill
+  chunks, and returns (the new edges of its dirty partitions, spill
+  chunks, an :class:`EngineStats` delta, hot constraint-cache entries);
+* the **coordinator** merges the new edges and spills into the canonical
+  store with deduplication (so pair re-eligibility stays tight and the
+  fixpoint terminates), folds returned hot cache entries into a shared
+  warm cache broadcast with the next wave, applies version bumps, and
+  splits oversized partitions serially *between* waves.
+
+Workers seed each pair's frontier *semi-naively*: only the edges that
+arrived in either partition since this pair was last processed, plus the
+compositions of old edges with those new right-hand edges (via a per-pair
+reverse index).  The first processing of a pair -- and any processing
+after a split invalidated a partition's delta log -- falls back to the
+serial engine's full reseeding, so the computed fixpoint is the same.
+
+Not every pair is worth a round trip: the first pair of every wave runs
+in the coordinator process against the store's write-back cache (paying
+no IPC and no file I/O) while the pool chews the rest.  When the machine
+has a single CPU -- or ``parallel_dispatch`` is ``"inline"`` -- the pool
+is skipped entirely: a worker process that can never run concurrently
+with the coordinator is pure overhead, and the wave protocol's
+semi-naive seeding already does strictly less work than the serial
+engine's full recomposition.
+
+Pool workers are forked, so they inherit the ICFET, grammar, and
+vertex/label tables read-only by copy-on-write; only pair descriptors,
+delta edges and results cross the process boundary.  Because edge chunks
+reference label *ids*, the coordinator pre-interns every label the
+grammar can ever produce (:meth:`Grammar.closure_labels`) before forking;
+a worker that still allocates a new label id fails loudly rather than
+corrupt the label table.  On platforms without ``fork`` everything runs
+inline.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from repro.engine import serialize
+from repro.engine.cache import LRUCache
+from repro.engine.computation import GraphEngine
+from repro.engine.partition import _count_edges, _estimate_bytes, _merge_edges
+from repro.engine.scheduling import PairScheduler
+from repro.engine.stats import EngineStats
+
+#: Caps on cross-process cache traffic per wave.
+CACHE_LOG_CAP = 4096
+CACHE_SEED_CAP = 8192
+#: Decoded partitions kept per pool worker (version-validated).
+WORKER_CACHE_SLOTS = 8
+
+
+def effective_workers(options) -> int:
+    """How many pair computations can actually proceed concurrently."""
+    workers = options.workers
+    if options.parallel_dispatch == "auto":
+        workers = min(workers, os.cpu_count() or 1)
+    return max(1, workers)
+
+
+@dataclass
+class _PartView:
+    """Pickling-safe snapshot of one partition descriptor."""
+
+    index: int
+    lo: int
+    hi: int
+    path: str
+    version: int
+    edge_count: int = 0
+    byte_estimate: int = 0
+
+    def owns(self, src: int) -> bool:
+        return self.lo <= src < self.hi
+
+
+@dataclass
+class WaveTask:
+    """One partition pair dispatched to a worker."""
+
+    pair: tuple
+    #: Snapshot of *all* partitions (index -> :class:`_PartView`) --
+    #: stable for the whole wave since splits only happen between waves.
+    #: ``None`` for inline tasks, which see the real store directly.
+    parts: dict | None
+    #: Pair-partition index -> delta edges since the pair was last
+    #: processed; ``None`` means "unknown / process fully".
+    deltas: dict
+    #: Warm constraint-cache entries to fold into the worker-local LRU.
+    cache_seed: list = field(default_factory=list)
+
+
+@dataclass
+class WaveResult:
+    """Everything a worker sends back for one processed pair."""
+
+    pair: tuple
+    #: partition index -> list of new (src, dst, label_id, encoding)
+    new_edges: dict = field(default_factory=dict)
+    #: partition index -> spill chunk {src: {(dst, label_id): set}}
+    spills: dict = field(default_factory=dict)
+    stats: EngineStats = field(default_factory=EngineStats)
+    cache_entries: list = field(default_factory=list)
+    #: True when the task ran inline: its edges and version bumps are
+    #: already in the real store and must not be merged a second time.
+    applied: bool = False
+
+
+# -- worker side ---------------------------------------------------------------
+
+#: Set in the parent immediately before the pool forks; inherited by the
+#: children via copy-on-write, never pickled.
+_FORK_STATE: dict | None = None
+
+#: Per-process lazily built worker engine.
+_WORKER: "_WorkerEngine | None" = None
+
+
+class _LoggingLRU(LRUCache):
+    """LRU that records entries added since the last drain, so the worker
+    can ship its freshest feasibility verdicts back to the coordinator."""
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self.added: list = []
+
+    def put(self, key, value) -> None:
+        if key not in self._data:
+            self.added.append((key, value))
+        super().put(key, value)
+
+    def seed(self, entries) -> None:
+        """Fold coordinator-broadcast entries in without re-logging them."""
+        for key, value in entries:
+            if key not in self._data:
+                super().put(key, value)
+
+    def drain_added(self, cap: int) -> list:
+        added, self.added = self.added, []
+        return added[-cap:] if len(added) > cap else added
+
+
+class _WorkerStore:
+    """Duck-typed store view for one out-of-process task.
+
+    Loads the pair's partitions from their files through a small
+    version-validated cache of decoded partitions (the persistent worker
+    sees the same partitions wave after wave), never splits, and records
+    deltas for unloaded partitions as in-memory spill chunks.
+    """
+
+    def __init__(self, stats: EngineStats):
+        self.stats = stats
+        self.partitions: dict = {}
+        self._los: list = []
+        self._by_lo: list = []
+        self._snapshot_versions: dict = {}
+        self.spill_chunks: dict = {}
+        self.dirty: set = set()
+        # index -> (version the entry is valid for, decoded edges)
+        self._decoded: dict = {}
+
+    def set_snapshot(self, parts: dict) -> None:
+        self.partitions = parts
+        order = sorted(parts.values(), key=lambda p: p.lo)
+        self._los = [p.lo for p in order]
+        self._by_lo = order
+        self._snapshot_versions = {p.index: p.version for p in order}
+        self.spill_chunks = {}
+        self.dirty = set()
+
+    def load(self, part) -> dict:
+        entry = self._decoded.get(part.index)
+        if entry is not None and entry[0] == part.version:
+            return entry[1]
+        with self.stats.timing("io_time"):
+            with open(part.path, "rb") as f:
+                edges = serialize.decode_partition(f.read())
+        self._cache_decoded(part.index, part.version, edges)
+        return edges
+
+    def _cache_decoded(self, index: int, version: int, edges: dict) -> None:
+        self._decoded[index] = (version, edges)
+        while len(self._decoded) > WORKER_CACHE_SLOTS:
+            victim = next(iter(self._decoded))
+            if victim == index:
+                break
+            del self._decoded[victim]
+
+    def save(self, part, edges: dict) -> None:
+        part.edge_count = _count_edges(edges)
+        part.byte_estimate = _estimate_bytes(edges)
+        self.dirty.add(part.index)
+        # The coordinator bumps the canonical version by exactly one when
+        # it merges this task's new edges; cache the decoded copy
+        # optimistically under that version (NOT part.version, which the
+        # engine bumped once per inserted edge during processing).  If
+        # spill chunks from other pairs bump it further, the version
+        # check forces a clean reload.
+        self._cache_decoded(
+            part.index, self._snapshot_versions[part.index] + 1, edges
+        )
+
+    def partition_of(self, src: int):
+        at = bisect_right(self._los, src) - 1
+        if at >= 0:
+            part = self._by_lo[at]
+            if part.owns(src):
+                return part
+        raise KeyError(f"no partition owns vertex {src}")
+
+    def needs_split(self, part) -> bool:
+        return False  # splits are the coordinator's job, between waves
+
+    def append_delta(self, part, chunk: dict) -> None:
+        target = self.spill_chunks.setdefault(part.index, {})
+        _merge_edges(target, chunk)
+
+
+class _WorkerEngine(GraphEngine):
+    """Engine variant for pair tasks: delta seeding, no splits, logging
+    LRU, and a merge memo (encoding merges repeat heavily across waves)."""
+
+    def __init__(self, icfet, grammar, options, graph, store=None):
+        super().__init__(icfet, grammar, options)
+        self.cache = _LoggingLRU(options.cache_capacity)
+        self._graph = graph
+        self._store = store if store is not None else _WorkerStore(self.stats)
+        from repro.grammar.cfg_grammar import ComposeContext
+
+        self._ctx = ComposeContext(
+            feasible=self._feasible, vertex=graph.vertices.lookup
+        )
+        self._deadline = None
+        self._merge_memo: dict = {}
+        self._task_deltas: dict = {}
+
+    def _merge_encodings(self, enc1, enc2):
+        key = (enc1, enc2)
+        memo = self._merge_memo
+        if key in memo:
+            return memo[key]
+        merged = super()._merge_encodings(enc1, enc2)
+        if len(memo) < 500_000:
+            memo[key] = merged
+        return merged
+
+    def _process_pair(self, i: int, j: int) -> None:
+        """Semi-naive worklist over one pair.
+
+        Unlike the serial drain -- which composes new edges only as
+        *left* operands and relies on whole-pair reprocessing to catch
+        old-left x new-right compositions -- this maintains a reverse
+        index of relevant-source in-edges and composes every new edge as
+        a right operand too.  One processing therefore reaches true
+        in-pair closure, which is what lets the coordinator mark pairs
+        with their post-processing versions (no quiescence re-runs), and
+        a reprocessing seeds only from the pair's delta edges.
+        """
+        store = self._store
+        parts = {i: store.partitions[i]}
+        loaded = {i: store.load(store.partitions[i])}
+        if j != i:
+            parts[j] = store.partitions[j]
+            loaded[j] = store.load(store.partitions[j])
+        dirty: set = set()
+        spills: dict = {}
+        labels = self._graph.labels
+        relevant_source = self.grammar.relevant_source
+        relevant_target = self.grammar.relevant_target
+
+        def out_edges(v: int):
+            for index, part in parts.items():
+                if part.owns(v):
+                    return loaded[index].get(v)
+            return None
+
+        def owned(v: int) -> bool:
+            return any(part.owns(v) for part in parts.values())
+
+        frontier: list = []
+        rhs: list = []
+        # A left operand is only ever joined through its destination, so
+        # edges pointing outside the pair can't compose here; skipping
+        # them (unlike the serial engine, which seeds and discards them)
+        # removes the O(P) frontier churn of wide stores.
+        in_index: dict = {}
+        self._pair_owned = owned
+        for index, edges in loaded.items():
+            for src, targets in edges.items():
+                for (dst, label_id), encodings in targets.items():
+                    if owned(dst) and relevant_source(labels.lookup(label_id)):
+                        slot = in_index.setdefault(dst, [])
+                        for encoding in encodings:
+                            slot.append((src, label_id, encoding))
+        # The new-edge sink (installed by run_task) keeps both live.
+        self._pair_in_index = in_index
+        self._pair_rhs = rhs
+
+        seeded: set = set()
+        deltas = [self._task_deltas.get(index) for index in parts]
+        if any(delta is None for delta in deltas):
+            # First processing (or delta log invalidated by a split):
+            # seed with every relevant-source edge joinable in the pair.
+            for index, edges in loaded.items():
+                for src, targets in edges.items():
+                    for (dst, label_id), encodings in targets.items():
+                        if owned(dst) and relevant_source(
+                            labels.lookup(label_id)
+                        ):
+                            for encoding in encodings:
+                                frontier.append((src, dst, label_id, encoding))
+        else:
+            new_edges = [edge for delta in deltas for edge in delta]
+            seeded = set(new_edges)
+            for edge in new_edges:
+                label = labels.lookup(edge[2])
+                if owned(edge[1]) and relevant_source(label):
+                    frontier.append(edge)
+                if relevant_target(label):
+                    rhs.append(edge)
+
+        compute_start = time.perf_counter()
+        accounted = (
+            self.stats.io_time + self.stats.encode_time + self.stats.smt_time
+        )
+        while frontier or rhs:
+            while frontier:
+                src, dst, label_id, encoding = frontier.pop()
+                targets = out_edges(dst)
+                if not targets:
+                    continue
+                edge1 = (src, dst, labels.lookup(label_id), encoding)
+                for (dst2, label2_id), encodings2 in list(targets.items()):
+                    label2 = labels.lookup(label2_id)
+                    if not self.grammar.relevant_target(label2):
+                        continue
+                    for encoding2 in list(encodings2):
+                        edge2 = (dst, dst2, label2, encoding2)
+                        self._compose_edges(
+                            edge1, edge2, loaded, parts, spills, dirty,
+                            frontier,
+                        )
+            if rhs:
+                src2, dst2, label2_id, enc2 = item = rhs.pop()
+                edge2 = (src2, dst2, labels.lookup(label2_id), enc2)
+                # Seeded rights were already present when the seeded
+                # lefts drained, so skipping seeded x seeded here loses
+                # nothing; runtime-inserted edges get no such guarantee
+                # (a left may have drained before this right appeared)
+                # and duplicate attempts simply dedup away on insert.
+                item_seeded = item in seeded
+                for src1, label1_id, enc1 in list(in_index.get(src2, ())):
+                    if item_seeded and (src1, src2, label1_id, enc1) in seeded:
+                        continue
+                    edge1 = (src1, src2, labels.lookup(label1_id), enc1)
+                    self._compose_edges(
+                        edge1, edge2, loaded, parts, spills, dirty, frontier
+                    )
+
+        self._flush_spills(spills)
+        self._finalize_pair(loaded, parts, dirty)
+        elapsed = time.perf_counter() - compute_start
+        newly_accounted = (
+            self.stats.io_time + self.stats.encode_time + self.stats.smt_time
+        ) - accounted
+        self.stats.compute_time += max(0.0, elapsed - newly_accounted)
+
+    def run_task(self, task: WaveTask) -> WaveResult:
+        self.stats = EngineStats()
+        store = self._store
+        store.stats = self.stats
+        store.set_snapshot(task.parts)
+        self._task_deltas = task.deltas
+        self.cache.seed(task.cache_seed)
+        labels = self._graph.labels
+        labels_before = len(labels)
+
+        new_edges: dict = {}
+        relevant_source = self.grammar.relevant_source
+        relevant_target = self.grammar.relevant_target
+
+        def sink(owner, src, dst, label_id, encoding):
+            new_edges.setdefault(owner, []).append(
+                (src, dst, label_id, encoding)
+            )
+            label = labels.lookup(label_id)
+            if relevant_source(label) and self._pair_owned(dst):
+                self._pair_in_index.setdefault(dst, []).append(
+                    (src, label_id, encoding)
+                )
+            if relevant_target(label):
+                self._pair_rhs.append((src, dst, label_id, encoding))
+
+        self._new_edge_sink = sink
+        try:
+            self._process_pair(*task.pair)
+        finally:
+            self._new_edge_sink = None
+        if len(labels) != labels_before:
+            fresh = [labels.lookup(i) for i in range(labels_before, len(labels))]
+            raise RuntimeError(
+                "parallel worker interned labels the coordinator never saw"
+                f" ({fresh!r}); Grammar.closure_labels() is incomplete"
+            )
+        return WaveResult(
+            pair=task.pair,
+            new_edges={i: new_edges.get(i, []) for i in store.dirty},
+            spills=store.spill_chunks,
+            stats=self.stats,
+            cache_entries=self.cache.drain_added(CACHE_LOG_CAP),
+        )
+
+
+def _worker_init() -> None:
+    global _WORKER
+    state = _FORK_STATE
+    _WORKER = _WorkerEngine(
+        state["icfet"], state["grammar"], state["options"], state["graph"]
+    )
+
+
+def _worker_run(task: WaveTask) -> WaveResult:
+    return _WORKER.run_task(task)
+
+
+# -- coordinator side ----------------------------------------------------------
+
+
+class _InlineStore(_WorkerStore):
+    """Worker-store facade over the coordinator's real store, used for
+    pairs processed in the coordinator process: loads and saves go
+    through the store's write-back cache (no IPC, no redundant decode),
+    spills are still collected for the coordinator's dedup merge, and
+    the I/O the real store does on our behalf is accounted to the inline
+    engine's stats so the pair's compute time stays truthful."""
+
+    def __init__(self, real):
+        super().__init__(real.stats)
+        self._real = real
+
+    def set_snapshot(self, parts) -> None:  # real partitions, not views
+        self.partitions = self._real.partitions
+        self.spill_chunks = {}
+        self.dirty = set()
+
+    def load(self, part) -> dict:
+        real = self._real
+        saved, real.stats = real.stats, self.stats
+        try:
+            return real.load(part)
+        finally:
+            real.stats = saved
+
+    def save(self, part, edges: dict) -> None:
+        self.dirty.add(part.index)
+        real = self._real
+        saved, real.stats = real.stats, self.stats
+        try:
+            real.save(part, edges)
+        finally:
+            real.stats = saved
+
+    def partition_of(self, src: int):
+        return self._real.partition_of(src)
+
+
+class _JoinIndex:
+    """Per-partition set of destinations of relevant-source edges.
+
+    A pair can only produce edges if some relevant-source edge in one of
+    its partitions points *into* the pair, so a pair whose partitions'
+    destination sets both miss both vertex intervals is provably inert
+    and can be retired without even loading it -- this is what keeps the
+    first-pass cost of a P-partition store from growing with P^2 on
+    phases whose facts are localised.  Destinations are tracked as sets
+    (over-approximations never skip wrongly: entries are only added,
+    except on splits which rebuild both halves from their actual edges).
+    """
+
+    def __init__(self, relevant_source, lookup):
+        self._relevant_source = relevant_source
+        self._lookup = lookup
+        self._sets: dict = {}
+        self._sorted: dict = {}  # index -> sorted snapshot (None = stale)
+
+    def add(self, index: int, dst: int, label_id: int) -> None:
+        if self._relevant_source(self._lookup(label_id)):
+            self._sets.setdefault(index, set()).add(dst)
+            self._sorted[index] = None
+
+    def rebuild(self, index: int, edges: dict) -> None:
+        dsts = set()
+        for src, targets in edges.items():
+            for dst, label_id in targets:
+                if self._relevant_source(self._lookup(label_id)):
+                    dsts.add(dst)
+        self._sets[index] = dsts
+        self._sorted[index] = None
+
+    def _overlaps(self, index: int, lo: int, hi: int) -> bool:
+        snapshot = self._sorted.get(index)
+        if snapshot is None:
+            snapshot = sorted(self._sets.get(index, ()))
+            self._sorted[index] = snapshot
+        at = bisect_right(snapshot, lo - 1)
+        return at < len(snapshot) and snapshot[at] < hi
+
+    def pair_has_join(self, partitions, pair) -> bool:
+        for index in set(pair):
+            for other in set(pair):
+                part = partitions[other]
+                if self._overlaps(index, part.lo, part.hi):
+                    return True
+        return False
+
+
+class ParallelCoordinator:
+    """Drives the wave loop over an already-initialised engine/store."""
+
+    def __init__(self, engine: GraphEngine):
+        self.engine = engine
+        self.store = engine._store
+        self.stats = engine.stats
+        self.options = engine.options
+
+    def run(self) -> None:
+        engine = self.engine
+        # Workers must never allocate label ids, so intern everything the
+        # grammar can ever produce before forking.
+        labels = engine._graph.labels
+        initial = [label for _i, label in labels.items()]
+        for label in engine.grammar.closure_labels(initial):
+            labels.intern(label)
+
+        pool = None
+        procs = effective_workers(self.options)
+        if procs > 1 and self.options.parallel_dispatch != "inline":
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # no fork on this platform: run inline
+                ctx = None
+            if ctx is not None:
+                global _FORK_STATE
+                _FORK_STATE = {
+                    "icfet": engine.icfet,
+                    "grammar": engine.grammar,
+                    "options": engine.options,
+                    "graph": engine._graph,
+                }
+                pool = ctx.Pool(processes=procs, initializer=_worker_init)
+        self._inline = _WorkerEngine(
+            engine.icfet, engine.grammar, engine.options, engine._graph,
+            store=_InlineStore(self.store),
+        )
+        # Seed the join index from the initial graph (partition contents
+        # at this point are exactly the post-derivation input edges).
+        self._joins = _JoinIndex(engine.grammar.relevant_source, labels.lookup)
+        for src, targets in engine._graph.edges.items():
+            index = self.store.partition_of(src).index
+            for dst, label_id in targets:
+                self._joins.add(index, dst, label_id)
+        try:
+            self._wave_loop(pool)
+        finally:
+            _FORK_STATE = None
+            if pool is not None:
+                pool.terminate()
+                pool.join()
+
+    def _run_inline(self, task: WaveTask) -> WaveResult:
+        result = self._inline.run_task(task)
+        result.applied = True
+        return result
+
+    def _wave_loop(self, pool) -> None:
+        stats = self.stats
+        store = self.store
+        engine = self.engine
+        scheduler = PairScheduler(store)
+        # Per-partition delta logs: every edge added since initialisation,
+        # in arrival order.  last_pos[pair] records (epoch_i, len_i,
+        # epoch_j, len_j) at dispatch; an epoch mismatch (the partition
+        # split since) forces full reprocessing of the pair.
+        logs: dict = {i: [] for i in range(len(store.partitions))}
+        epochs: dict = {i: 0 for i in range(len(store.partitions))}
+        last_pos: dict = {}
+        warm_cache: dict = {}
+        fresh_entries: list = []
+
+        while True:
+            if engine._deadline is not None and (
+                time.perf_counter() > engine._deadline
+            ):
+                engine.timed_out = True
+                stats.timed_out = True
+                break
+            # Without a pool there is nothing to overlap: a wide wave
+            # only disperses the store cache's locality and schedules
+            # pairs on staler eligibility, so fall back to one pair at a
+            # time (the serial order, still delta-seeded).
+            width = self.options.workers if pool is not None else 1
+            if self.options.max_pairs is not None:
+                width = min(
+                    width, self.options.max_pairs - stats.pairs_processed
+                )
+                if width <= 0:
+                    break
+            wave = scheduler.select_wave(width)
+            if not wave:
+                break
+            # Retire provably inert pairs without loading them: nothing
+            # to seed means nothing to find, so mark them processed at
+            # their current versions and delta positions.
+            live = []
+            for pair in wave:
+                if self._joins.pair_has_join(store.partitions, pair):
+                    live.append(pair)
+                    continue
+                stats.pairs_skipped += 1
+                scheduler.mark_processed(
+                    pair, scheduler.captured_versions(pair)
+                )
+                last_pos[pair] = (
+                    epochs[pair[0]], len(logs.setdefault(pair[0], [])),
+                    epochs[pair[1]], len(logs.setdefault(pair[1], [])),
+                )
+            wave = live
+            if not wave:
+                continue
+            stats.waves += 1
+            # The first pair of every wave runs in-process (against the
+            # write-back cache, no IPC) while the pool -- when there is
+            # one -- chews the rest.
+            pooled = wave[1:] if pool is not None else ()
+
+            tasks = []
+            seed = fresh_entries[-CACHE_SEED_CAP:]
+            fresh_entries = []
+            snapshot = None
+            if pooled:
+                for pair in pooled:
+                    for index in set(pair):
+                        store.materialize(store.partitions[index])
+                snapshot = {
+                    p.index: _PartView(
+                        index=p.index, lo=p.lo, hi=p.hi, path=p.path,
+                        version=p.version, edge_count=p.edge_count,
+                        byte_estimate=p.byte_estimate,
+                    )
+                    for p in store.partitions
+                }
+            for pair in wave:
+                deltas = {}
+                positions = last_pos.get(pair)
+                for slot, index in enumerate(dict.fromkeys(pair)):
+                    if (
+                        positions is not None
+                        and positions[2 * slot] == epochs[index]
+                    ):
+                        deltas[index] = logs[index][positions[2 * slot + 1]:]
+                    else:
+                        deltas[index] = None
+                tasks.append(
+                    WaveTask(
+                        pair=pair,
+                        parts=snapshot if pair in pooled else None,
+                        deltas=deltas,
+                        cache_seed=seed,
+                    )
+                )
+                last_pos[pair] = (
+                    epochs[pair[0]], len(logs[pair[0]]),
+                    epochs[pair[1]], len(logs[pair[1]]),
+                )
+
+            if pooled:
+                pending = pool.map_async(_worker_run, tasks[1:], chunksize=1)
+                results = [self._run_inline(tasks[0])]
+                results.extend(pending.get())
+            else:
+                results = [self._run_inline(task) for task in tasks]
+
+            touched = set()
+            for result in results:
+                stats.merge(result.stats)
+                stats.pairs_processed += 1
+                stats.iterations = stats.pairs_processed
+                for index, edges in result.new_edges.items():
+                    touched.add(index)
+                    if not result.applied:
+                        chunk: dict = {}
+                        for src, dst, label_id, encoding in edges:
+                            chunk.setdefault(src, {}).setdefault(
+                                (dst, label_id), set()
+                            ).add(encoding)
+                        edges = store.merge_chunk(
+                            store.partitions[index], chunk
+                        )
+                    # (Inline tasks' edges and version bumps already
+                    # landed in the real store during processing.)
+                    logs.setdefault(index, []).extend(edges)
+                    for _src, dst, label_id, _enc in edges:
+                        self._joins.add(index, dst, label_id)
+                # The frontier drain reaches in-pair closure, so the
+                # pair's own insertions cannot make it eligible again:
+                # mark it with the *post-merge* versions and advance its
+                # delta positions past its own edges.  (The serial loop
+                # marks with pre-processing versions and pays one full
+                # "quiescence check" recompose per dirty pair instead.)
+                # Spill chunks from this wave merge below, after this,
+                # so cross-pair edges still re-activate the pair.
+                scheduler.mark_processed(
+                    result.pair, scheduler.captured_versions(result.pair)
+                )
+                i, j = result.pair
+                last_pos[result.pair] = (
+                    epochs[i], len(logs.setdefault(i, [])),
+                    epochs[j], len(logs.setdefault(j, [])),
+                )
+                for key, value in result.cache_entries:
+                    if key not in warm_cache:
+                        warm_cache[key] = value
+                        fresh_entries.append((key, value))
+            # Spill chunks after the pairs' own edges so the dedup merge
+            # sees each partition's freshest contents.  Chunks are
+            # combined per partition first, and partitions not resident
+            # in the write-back cache take the serial engine's cheap
+            # delta-file append instead of a load-merge-save round trip;
+            # their logs then over-approximate (duplicates are harmless
+            # seeds -- they recompose into edges that dedup away).
+            combined: dict = {}
+            for result in results:
+                for index, chunk in result.spills.items():
+                    _merge_edges(combined.setdefault(index, {}), chunk)
+            for index, chunk in combined.items():
+                part = store.partitions[index]
+                if store.is_cached(part):
+                    added = store.merge_chunk(part, chunk)
+                else:
+                    store.append_delta(part, chunk)
+                    added = [
+                        (src, dst, label_id, encoding)
+                        for src, targets in chunk.items()
+                        for (dst, label_id), encodings in targets.items()
+                        for encoding in encodings
+                    ]
+                if added:
+                    logs.setdefault(index, []).extend(added)
+                    touched.add(index)
+                    for _src, dst, label_id, _enc in added:
+                        self._joins.add(index, dst, label_id)
+            self._split_oversized(touched, logs, epochs)
+
+    def _split_oversized(self, touched, logs: dict, epochs: dict) -> None:
+        """Serial between-wave repartitioning; a split moves edges between
+        partitions, so both halves' delta logs restart from scratch."""
+        store = self.store
+        for index in sorted(touched):
+            part = store.partitions[index]
+            if not store.needs_split(part):
+                continue
+            edges = store.load(part)
+            while store.needs_split(part):
+                part, edges, new_part, new_edges = store.split(part, edges)
+                if new_part is None:
+                    break
+                logs[part.index] = []
+                epochs[part.index] = epochs.get(part.index, 0) + 1
+                logs[new_part.index] = []
+                epochs[new_part.index] = 0
+                self._joins.rebuild(part.index, edges)
+                self._joins.rebuild(new_part.index, new_edges)

@@ -11,6 +11,7 @@ budget ("eager repartitioning", §4.3).
 from __future__ import annotations
 
 import os
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 from repro.engine import serialize
@@ -51,6 +52,11 @@ class PartitionStore:
         self.cache_slots = max(2, cache_slots)
         self._cache: dict[int, dict] = {}
         self._dirty: set[int] = set()
+        # Sorted (lo, index) view of the partition intervals for bisect
+        # lookup; rebuilt lazily after any boundary change.
+        self._bounds_los: list[int] = []
+        self._bounds_index: list[int] = []
+        self._bounds_stale = True
         os.makedirs(workdir, exist_ok=True)
 
     # -- construction --------------------------------------------------------
@@ -86,6 +92,7 @@ class PartitionStore:
         part.byte_estimate = _estimate_bytes(chunk)
         self._save(part, chunk)
         self.partitions.append(part)
+        self._bounds_stale = True
         return part
 
     def _fresh_path(self, prefix: str) -> str:
@@ -110,14 +117,7 @@ class PartitionStore:
             with open(part.path, "rb") as f:
                 edges = serialize.decode_partition(f.read())
             delta = self._drain_delta(part)
-        added = 0
-        for src, targets in delta.items():
-            mine = edges.setdefault(src, {})
-            for key, encodings in targets.items():
-                slot = mine.setdefault(key, set())
-                before = len(slot)
-                slot |= encodings
-                added += len(slot) - before
+        added = _merge_edges(edges, delta)
         if added:
             part.edge_count += added
             part.byte_estimate = _estimate_bytes(edges)
@@ -178,14 +178,7 @@ class PartitionStore:
             return
         cached = self._cache.get(part.index)
         if cached is not None:
-            added = 0
-            for src, targets in chunk.items():
-                mine = cached.setdefault(src, {})
-                for key, encodings in targets.items():
-                    slot = mine.setdefault(key, set())
-                    before = len(slot)
-                    slot |= encodings
-                    added += len(slot) - before
+            added = _merge_edges(cached, chunk)
             if added:
                 self._dirty.add(part.index)
                 part.version += 1
@@ -203,8 +196,21 @@ class PartitionStore:
 
     # -- lookup / repartitioning ----------------------------------------------
 
+    def _rebuild_bounds(self) -> None:
+        order = sorted(range(len(self.partitions)),
+                       key=lambda i: self.partitions[i].lo)
+        self._bounds_los = [self.partitions[i].lo for i in order]
+        self._bounds_index = order
+        self._bounds_stale = False
+
     def partition_of(self, src: int) -> Partition:
-        for part in self.partitions:
+        """The partition owning source vertex ``src`` (bisect over the
+        sorted interval boundaries; partitions tile the vertex space)."""
+        if self._bounds_stale:
+            self._rebuild_bounds()
+        at = bisect_right(self._bounds_los, src) - 1
+        if at >= 0:
+            part = self.partitions[self._bounds_index[at]]
             if part.owns(src):
                 return part
         raise KeyError(f"no partition owns vertex {src}")
@@ -248,10 +254,48 @@ class PartitionStore:
         part.version += 1
         new_part.version = 1
         self.partitions.append(new_part)
+        self._bounds_stale = True
         self.save(part, left)
         self.save(new_part, right)
         self.stats.repartitions += 1
         return part, left, new_part, right
+
+    # -- parallel-coordinator support ------------------------------------------
+
+    def is_cached(self, part: Partition) -> bool:
+        return part.index in self._cache
+
+    def merge_chunk(self, part: Partition, chunk: dict) -> list:
+        """Deduplicating merge of ``chunk`` into a partition.
+
+        Unlike :meth:`append_delta` on an uncached partition, this loads
+        the partition and only bumps the version when genuinely new edges
+        arrived -- the parallel coordinator relies on that to keep pair
+        re-eligibility (and hence termination) tight.  Returns the list of
+        newly added ``(src, dst, label_id, encoding)`` edges.
+        """
+        if not chunk:
+            return []
+        edges = self.load(part)
+        new_edges: list = []
+        added = _merge_edges(edges, chunk, collect=new_edges)
+        if added:
+            self.save(part, edges)  # recomputes edge_count/byte_estimate
+            part.version += 1
+        return new_edges
+
+    def materialize(self, part: Partition) -> None:
+        """Guarantee ``part.path`` on disk holds the partition's full,
+        current contents (pending delta folded in, dirty cache flushed)
+        so an out-of-process worker can read the file directly."""
+        cached = self._cache.get(part.index)
+        has_delta = os.path.exists(part.delta_path)
+        if cached is None and not has_delta and part.index not in self._dirty:
+            return  # disk already current
+        edges = self.load(part)  # folds delta, may mark dirty
+        if part.index in self._dirty:
+            self._dirty.discard(part.index)
+            self._save(part, edges)
 
     def total_edges(self) -> int:
         return sum(p.edge_count for p in self.partitions)
@@ -285,6 +329,28 @@ def _balanced_boundaries(edges: dict, num_vertices: int, wanted: int):
             produced += 1
     boundaries.append((lo, span))
     return boundaries
+
+
+def _merge_edges(edges: dict, chunk: dict, collect: list | None = None) -> int:
+    """Union ``chunk`` into ``edges``; returns the number of genuinely new
+    edges.  When ``collect`` is given, the new ``(src, dst, label_id,
+    encoding)`` tuples are appended to it."""
+    added = 0
+    for src, targets in chunk.items():
+        mine = edges.setdefault(src, {})
+        for key, encodings in targets.items():
+            slot = mine.setdefault(key, set())
+            if collect is None:
+                before = len(slot)
+                slot |= encodings
+                added += len(slot) - before
+            else:
+                for encoding in encodings:
+                    if encoding not in slot:
+                        slot.add(encoding)
+                        collect.append((src, key[0], key[1], encoding))
+                        added += 1
+    return added
 
 
 def _count_edges(edges: dict) -> int:

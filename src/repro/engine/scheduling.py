@@ -1,0 +1,133 @@
+"""Eligible-pair scheduling for the closure engine.
+
+A partition pair ``(i, j)`` (with ``i <= j``) is *eligible* when it has
+never been processed, or when either partition's version advanced since
+the pair was last processed.  The serial engine used to rediscover the
+next eligible pair with an O(P^2) scan per step; :class:`PairScheduler`
+keeps a min-heap of candidate pairs instead, refreshed by an O(P) sweep
+over partition versions, and pops the lexicographically smallest eligible
+pair -- exactly the pair the old scan would have returned, so the serial
+path's processing order (and therefore its output) is unchanged.
+
+The same eligibility source feeds the parallel engine's *wave* selection:
+:meth:`select_wave` greedily picks eligible pairs, in the serial order,
+such that no partition appears in two pairs of one wave -- the in-flight
+pairs of a wave touch disjoint partition sets, so workers never load or
+save the same partition concurrently.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+
+class PairScheduler:
+    """Tracks pair eligibility over a store's (mutable) partition list."""
+
+    def __init__(self, store):
+        self.store = store
+        self.last_seen: dict = {}
+        self._heap: list = []
+        self._in_heap: set = set()
+        # Last version observed per partition index by the refresh sweep.
+        self._known_versions: list = []
+
+    # -- internals -------------------------------------------------------------
+
+    def _push(self, pair) -> None:
+        if pair not in self._in_heap:
+            self._in_heap.add(pair)
+            heapq.heappush(self._heap, pair)
+
+    def _refresh(self) -> None:
+        """O(P) sweep: requeue every pair touching a partition whose
+        version changed (or that was created) since the last sweep."""
+        partitions = self.store.partitions
+        n = len(partitions)
+        known = self._known_versions
+        changed = []
+        for index in range(len(known)):
+            version = partitions[index].version
+            if version != known[index]:
+                known[index] = version
+                changed.append(index)
+        for index in range(len(known), n):  # newly created partitions
+            known.append(partitions[index].version)
+            changed.append(index)
+        for p in changed:
+            for q in range(n):
+                self._push((p, q) if p <= q else (q, p))
+
+    def _eligible(self, pair) -> bool:
+        i, j = pair
+        partitions = self.store.partitions
+        seen = self.last_seen.get(pair)
+        if seen is None:
+            return True
+        return (
+            partitions[i].version > seen[0] or partitions[j].version > seen[1]
+        )
+
+    # -- API -------------------------------------------------------------------
+
+    def captured_versions(self, pair) -> tuple:
+        i, j = pair
+        partitions = self.store.partitions
+        return (partitions[i].version, partitions[j].version)
+
+    def mark_processed(self, pair, captured: tuple) -> None:
+        """Record the versions the pair was processed at (captured before
+        processing started, as the serial loop always did)."""
+        self.last_seen[pair] = captured
+
+    def forget(self, index: int) -> None:
+        """Drop history for every pair touching ``index`` (used after a
+        split moved edges: those pairs must reprocess from scratch)."""
+        for pair in [p for p in self.last_seen if index in p]:
+            del self.last_seen[pair]
+
+    def next_pair(self):
+        """The lexicographically smallest eligible pair, or None."""
+        self._refresh()
+        while self._heap:
+            pair = self._heap[0]
+            if self._eligible(pair):
+                return pair
+            heapq.heappop(self._heap)
+            self._in_heap.discard(pair)
+        return None
+
+    def pop_pair(self, pair) -> None:
+        """Remove ``pair`` from the queue (it is about to be processed)."""
+        if self._heap and self._heap[0] == pair:
+            heapq.heappop(self._heap)
+            self._in_heap.discard(pair)
+
+    def select_wave(self, max_width: int) -> list:
+        """Up to ``max_width`` mutually disjoint eligible pairs.
+
+        Pairs are considered in the serial processing order; a pair joins
+        the wave only if neither of its partitions is already claimed, so
+        no partition is in two in-flight pairs.  Skipped-over pairs stay
+        queued for later waves.
+        """
+        self._refresh()
+        wave: list = []
+        busy: set = set()
+        kept: list = []
+        heap = self._heap
+        while heap and len(wave) < max_width:
+            pair = heapq.heappop(heap)
+            self._in_heap.discard(pair)
+            if not self._eligible(pair):
+                continue
+            i, j = pair
+            if i in busy or j in busy:
+                kept.append(pair)  # still eligible; revisit next wave
+                continue
+            busy.add(i)
+            busy.add(j)
+            wave.append(pair)
+        for pair in kept:
+            self._push(pair)
+        return wave

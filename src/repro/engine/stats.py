@@ -40,6 +40,12 @@ class EngineStats:
     repartitions: int = 0
     final_partitions: int = 0
     timed_out: bool = False
+    # Parallel engine: number of dispatched waves of disjoint pairs, and
+    # number of eligible pairs retired without processing because the
+    # coordinator's join index proved them empty (coordinator-side
+    # counters; 0 for a serial run, not summed by merge()).
+    waves: int = 0
+    pairs_skipped: int = 0
 
     @contextmanager
     def timing(self, component: str):
