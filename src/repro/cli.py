@@ -50,6 +50,12 @@ def build_parser() -> argparse.ArgumentParser:
                        " i.e. the serial engine)")
     check.add_argument("--no-cache", action="store_true",
                        help="disable constraint memoisation")
+    check.add_argument("--compress-spills", action="store_true",
+                       help="zlib-compress spill/delta frames written by the"
+                       " background writer (trades CPU for disk bandwidth)")
+    check.add_argument("--no-prefetch", action="store_true",
+                       help="disable the background partition prefetcher"
+                       " (loads become synchronous reads)")
     check.add_argument("--stats", action="store_true",
                        help="print engine statistics")
 
@@ -81,6 +87,8 @@ def cmd_check(args) -> int:
             memory_budget=args.memory_budget << 20,
             enable_cache=not args.no_cache,
             workers=args.workers,
+            compress_spills=args.compress_spills,
+            prefetch=not args.no_prefetch,
         ),
     )
     run = Grapple(source, [c.fsm for c in checkers], options).run()
@@ -93,6 +101,13 @@ def cmd_check(args) -> int:
         print(f"partitions          : {stats.final_partitions}")
         print(f"constraints solved  : {stats.constraints_solved}")
         print(f"cache hit rate      : {stats.cache_hit_rate:.0%}")
+        print(f"prefetch hit rate   : {stats.prefetch_hit_rate:.0%}"
+              f" ({stats.prefetch_hits}/"
+              f"{stats.prefetch_hits + stats.prefetch_misses} loads)")
+        print(f"spill frames        : {stats.spill_frames}"
+              f" ({stats.spill_bytes} bytes)")
+        print(f"join batches/probes : {stats.join_batches}"
+              f" / {stats.join_probes}")
         print(f"total time          : {run.total_time:.2f}s")
     return 1 if run.report.warnings else 0
 

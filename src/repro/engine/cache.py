@@ -50,3 +50,34 @@ class LRUCache:
         self._data.clear()
         self.hits = 0
         self.misses = 0
+
+
+class FeasibilityMemo:
+    """Verdict memo keyed by hash-consed encoding id.
+
+    Sits in front of the tuple-keyed :class:`LRUCache` and the SMT
+    solver: once an encoding (or sorted id combination) has a verdict,
+    the next query is a single int-keyed dict probe -- no tuple hashing,
+    no LRU reordering.  Ids are process-local, so the memo never crosses
+    a process boundary (the LRU's tuple entries do instead).
+
+    The memo is insertion-bounded rather than LRU: verdicts are tiny
+    (int -> bool) and the id space is already bounded by the encoding
+    table, so eviction machinery would cost more than it saves.
+    """
+
+    __slots__ = ("capacity", "_data")
+
+    def __init__(self, capacity: int = 1_000_000):
+        self.capacity = capacity
+        self._data: dict = {}
+
+    def get(self, key):
+        return self._data.get(key)
+
+    def put(self, key, value) -> None:
+        if len(self._data) < self.capacity:
+            self._data[key] = value
+
+    def __len__(self) -> int:
+        return len(self._data)

@@ -3,12 +3,25 @@
 The engine repeatedly loads a pair of partitions, joins consecutive edges
 ``x -> y`` and ``y -> z`` whose labels compose under the grammar, merges
 their interval-sequence path encodings, checks the merged constraint's
-satisfiability (through the LRU memoisation cache), and inserts the
+satisfiability (through the memoisation caches), and inserts the
 transitive edge.  New edges owned by unloaded partitions are spilled to
 delta files; oversized partitions are split eagerly.  A pair becomes
 re-eligible whenever either partition gained edges since the pair was last
 processed, and the computation stops when no pair is eligible -- the
 fixpoint "no new edges can be found".
+
+Since the columnar-store rewrite the inner loop runs entirely on interned
+integer ids: partitions are :class:`~repro.engine.columnar.EdgeColumns`
+(sorted ``array('q')`` columns plus an insert overlay), every path
+encoding is hash-consed to a dense id by the engine's
+:class:`~repro.engine.columnar.EncodingTable`, and the frontier drain is
+a merge-join -- each round sorts the pending left operands by their join
+vertex and probes the right-hand sorted source runs once per distinct
+vertex instead of once per edge.  Encoding merges, reversals, label
+compositions, and feasibility verdicts are all memoised by id, so the
+hot path compares machine ints where it used to hash variable-length
+tuples.  Ids never leave the process; anything that crosses a process or
+disk boundary is converted back to encoding tuples at the edge.
 """
 
 from __future__ import annotations
@@ -20,15 +33,21 @@ from dataclasses import dataclass, field
 
 from repro.cfet import encoding as enc_mod
 from repro.cfet.icfet import Icfet
-from repro.engine.cache import LRUCache
+from repro.engine.cache import FeasibilityMemo, LRUCache
+from repro.engine.columnar import EncodingTable
+from repro.engine.io_pipeline import PrefetchReader, SpillWriter
 from repro.engine.partition import Partition, PartitionStore
 from repro.engine.scheduling import PairScheduler
-from repro.engine.serialize import estimate_edge_bytes
 from repro.engine.stats import EngineStats
 from repro.grammar.cfg_grammar import ComposeContext, Grammar
 from repro.graph.model import ProgramGraph
 from repro.smt import Result, Solver
 from repro.smt import expr as E
+
+#: Caps on the per-engine id-keyed memo tables (plain dicts; entries are
+#: a few machine words each, so these allow tens of MB at most).
+MERGE_MEMO_CAP = 500_000
+DECODE_CACHE_CAP = 500_000
 
 
 @dataclass
@@ -72,6 +91,11 @@ class EngineOptions:
     # 2 * effective workers; the serial path ignores this and uses
     # min_partitions.
     parallel_min_partitions: int | None = None
+    # Background I/O pipeline (engine/io_pipeline.py): prefetch upcoming
+    # partitions on a reader thread, and zlib-compress buffered spill
+    # frames on the writer thread.
+    prefetch: bool = True
+    compress_spills: bool = False
 
 
 @dataclass
@@ -138,12 +162,22 @@ class GraphEngine:
         self.solver = solver or Solver()
         self.stats = EngineStats()
         self.cache = LRUCache(self.options.cache_capacity)
-        self._decode_cache: dict = {}
-        self._compose_memo: dict = {}
+        # All id-keyed memo tables below are process-local, like the
+        # EncodingTable that defines the ids.
+        self._enc = EncodingTable()
+        self._decode_cache: dict = {}  # enc id -> constraint expr
+        self._compose_memo: dict = {}  # (label id, label id) -> label ids
+        self._merge_memo: dict = {}  # (enc id, enc id) -> enc id | None
+        self._reverse_memo: dict = {}  # enc id -> enc id
+        self._feasible_memo = FeasibilityMemo()
+        self._rel_src_memo: dict = {}  # label id -> bool
+        self._rel_tgt_memo: dict = {}  # label id -> bool
+        self._derived_memo: dict = {}  # label id -> ((label id, rev), ...)
         self._table_driven = getattr(grammar, "table_driven", False)
-        # Optional callback ``(src, dst, label_id, encoding)`` invoked for
-        # every new edge inserted into a *loaded* partition; the parallel
-        # worker uses it to report delta edges back to the coordinator.
+        # Optional callback ``(owner_index, src, dst, label_id, enc_id)``
+        # invoked for every new edge inserted into a *loaded* partition;
+        # the parallel worker uses it to report delta edges back to the
+        # coordinator.
         self._new_edge_sink = None
 
     # -- public API ----------------------------------------------------------
@@ -183,13 +217,19 @@ class GraphEngine:
             if floor is None:
                 floor = 2 * effective_workers(self.options)
             min_partitions = max(min_partitions, floor)
+        prefetch = PrefetchReader() if self.options.prefetch else None
+        spill_writer = SpillWriter(compress=self.options.compress_spills)
         with stats.timing("preprocess_time"):
             self._seed_derived(graph)
             if self.options.constraint_mode == "string":
                 self._stringify_graph(graph)
             stats.edges_before = graph.edge_count()
             stats.vertices = len(graph.vertices)
-            store = PartitionStore(workdir, self.options.memory_budget, stats)
+            store = PartitionStore(
+                workdir, self.options.memory_budget, stats,
+                table=self._enc, prefetch=prefetch,
+                spill_writer=spill_writer,
+            )
             store.initialize(graph.edges, len(graph.vertices), min_partitions)
         self._graph = graph
         self._store = store
@@ -197,12 +237,20 @@ class GraphEngine:
             feasible=self._feasible, vertex=graph.vertices.lookup
         )
 
-        if parallel:
-            from repro.engine.parallel import ParallelCoordinator
+        try:
+            if parallel:
+                from repro.engine.parallel import ParallelCoordinator
 
-            ParallelCoordinator(self).run()
-        else:
-            self._serial_loop()
+                ParallelCoordinator(self).run()
+            else:
+                self._serial_loop()
+        finally:
+            # Post-run edge iteration must not count prefetch misses or
+            # race the writer thread: tear the pipeline down here.
+            store.drop_pipeline()
+            spill_writer.close()
+            stats.spill_frames += spill_writer.frames_written
+            stats.spill_bytes += spill_writer.bytes_written
 
         store.flush()
         stats.edges_after = store.total_edges()
@@ -229,6 +277,14 @@ class GraphEngine:
                 break
             captured = scheduler.captured_versions(pair)
             scheduler.pop_pair(pair)
+            # Overlap the next pair's disk reads with this pair's compute:
+            # the lookahead is a prediction (processing this pair may
+            # change eligibility), so stale prefetches simply miss.
+            if store.prefetch is not None:
+                busy = set(pair)
+                for upcoming in scheduler.peek_pairs(2):
+                    for index in set(upcoming) - busy:
+                        store.prefetch_schedule(store.partitions[index])
             self._process_pair(*pair)
             scheduler.mark_processed(pair, captured)
             stats.pairs_processed += 1
@@ -256,9 +312,76 @@ class GraphEngine:
                         )
                     )
 
+    # -- label/encoding id helpers ---------------------------------------------
+
+    def _rel_src_id(self, label_id: int) -> bool:
+        memo = self._rel_src_memo
+        value = memo.get(label_id)
+        if value is None:
+            value = memo[label_id] = self.grammar.relevant_source(
+                self._graph.labels.lookup(label_id)
+            )
+        return value
+
+    def _rel_tgt_id(self, label_id: int) -> bool:
+        memo = self._rel_tgt_memo
+        value = memo.get(label_id)
+        if value is None:
+            value = memo[label_id] = self.grammar.relevant_target(
+                self._graph.labels.lookup(label_id)
+            )
+        return value
+
+    def _derived_ids(self, label_id: int):
+        memo = self._derived_memo
+        value = memo.get(label_id)
+        if value is None:
+            labels = self._graph.labels
+            value = memo[label_id] = tuple(
+                (labels.intern(derived_label), rev)
+                for derived_label, rev in self.grammar.derived(
+                    labels.lookup(label_id)
+                )
+            )
+        return value
+
+    def _merge_ids(self, e1: int, e2: int):
+        """Memoised encoding merge by id; None = overflow (dropped)."""
+        key = (e1, e2)
+        memo = self._merge_memo
+        if key in memo:
+            return memo[key]
+        table = self._enc
+        with self.stats.timing("encode_time"):
+            merged = self._merge_encodings(table.decode(e1), table.decode(e2))
+        result = None if merged is None else table.intern(merged)
+        if len(memo) < MERGE_MEMO_CAP:
+            memo[key] = result
+        return result
+
+    def _reverse_id(self, eid: int) -> int:
+        memo = self._reverse_memo
+        result = memo.get(eid)
+        if result is None:
+            with self.stats.timing("encode_time"):
+                reversed_enc = self._reverse_encoding(self._enc.decode(eid))
+            result = memo[eid] = self._enc.intern(reversed_enc)
+        return result
+
     # -- pair processing ---------------------------------------------------------
 
     def _process_pair(self, i: int, j: int) -> None:
+        """Merge-join frontier drain over one partition pair.
+
+        Each round takes the whole pending frontier, sorts it by the join
+        vertex (the left operand's destination), and walks the distinct
+        join vertices in order -- one sorted-run probe of the right-hand
+        columns per vertex, shared by every left operand joining there,
+        instead of one dict probe per edge.  Edges produced by a round
+        join the next round's frontier; convergence is unchanged because
+        pair re-eligibility (version counters) already covers any
+        composition a snapshot probe misses.
+        """
         store = self._store
         parts = {i: store.partitions[i]}
         loaded = {i: store.load(store.partitions[i])}
@@ -268,35 +391,46 @@ class GraphEngine:
         dirty: set = set()
         spills: dict = {}
 
-        def out_edges(v: int):
+        def out_rows(v: int):
             for index, part in parts.items():
                 if part.owns(v):
-                    return loaded[index].get(v)
+                    return loaded[index].out_rows(v)
             return None
 
         frontier: list = []
-        labels = self._graph.labels
         self._seed_pair((i, j), loaded, parts, spills, dirty, frontier)
 
         compute_start = time.perf_counter()
         accounted = (
             self.stats.io_time + self.stats.encode_time + self.stats.smt_time
         )
+        stats = self.stats
+        rel_tgt = self._rel_tgt_id
         while frontier:
-            src, dst, label_id, encoding = frontier.pop()
-            targets = out_edges(dst)
-            if not targets:
-                continue
-            edge1 = (src, dst, labels.lookup(label_id), encoding)
-            for (dst2, label2_id), encodings2 in list(targets.items()):
-                label2 = labels.lookup(label2_id)
-                if not self.grammar.relevant_target(label2):
-                    continue
-                for encoding2 in list(encodings2):
-                    edge2 = (dst, dst2, label2, encoding2)
-                    self._compose_edges(
-                        edge1, edge2, loaded, parts, spills, dirty, frontier
-                    )
+            batch = frontier
+            frontier = []
+            batch.sort(key=lambda edge: edge[1])
+            stats.join_batches += 1
+            at, n = 0, len(batch)
+            while at < n:
+                dst = batch[at][1]
+                end = at + 1
+                while end < n and batch[end][1] == dst:
+                    end += 1
+                rows = out_rows(dst)
+                if rows:
+                    stats.join_probes += 1
+                    rows = [row for row in rows if rel_tgt(row[1])]
+                if rows:
+                    for k in range(at, end):
+                        src, _, label1_id, enc1 = batch[k]
+                        for dst2, label2_id, enc2 in rows:
+                            self._compose_edges(
+                                src, dst, label1_id, enc1,
+                                dst2, label2_id, enc2,
+                                loaded, parts, spills, dirty, frontier,
+                            )
+                at = end
 
         self._flush_spills(spills)
         self._finalize_pair(loaded, parts, dirty)
@@ -314,124 +448,145 @@ class GraphEngine:
         engine's workers override this with delta seeding (only edges new
         since the pair was last processed).
         """
-        relevant_source = self.grammar.relevant_source
-        labels = self._graph.labels
-        for index, edges in loaded.items():
-            for src, targets in edges.items():
-                for (dst, label_id), encodings in targets.items():
-                    if relevant_source(labels.lookup(label_id)):
-                        for encoding in encodings:
-                            frontier.append((src, dst, label_id, encoding))
+        rel_src = self._rel_src_id
+        for cols in loaded.values():
+            for row in cols.iter_rows():
+                if rel_src(row[2]):
+                    frontier.append(row)
 
     def _finalize_pair(self, loaded, parts, dirty) -> None:
         """Persist the pair's loaded partitions (splitting any
         still-oversized ones; split() persists both halves itself)."""
         store = self._store
         for index in list(loaded):
-            part, edges = parts[index], loaded[index]
+            part, cols = parts[index], loaded[index]
             was_split = False
             while store.needs_split(part):
-                part, edges, new_part, _new_edges = store.split(part, edges)
+                part, cols, new_part, _new_cols = store.split(part, cols)
                 if new_part is None:
                     break
                 was_split = True
-            parts[index], loaded[index] = part, edges
+            parts[index], loaded[index] = part, cols
             if index in dirty and not was_split:
-                store.save(part, edges)
+                store.save(part, cols)
 
     def _compose_edges(
-        self, edge1, edge2, loaded, parts, spills, dirty, frontier
+        self, src, dst, label1_id, enc1, dst2, label2_id, enc2,
+        loaded, parts, spills, dirty, frontier,
     ) -> None:
         stats = self.stats
         stats.compositions_tried += 1
-        new_labels = self._compose_labels(edge1, edge2)
-        if not new_labels:
+        new_label_ids = self._compose_labels(
+            src, dst, label1_id, enc1, dst2, label2_id, enc2
+        )
+        if not new_label_ids:
             return
-        src, _, _, enc1 = edge1
-        _, dst2, _, enc2 = edge2
-        with stats.timing("encode_time"):
-            merged = self._merge_encodings(enc1, enc2)
+        merged = self._merge_ids(enc1, enc2)
         if merged is None:
             stats.encoding_overflow_dropped += 1
             return
-        for new_label in new_labels:
+        for new_label_id in new_label_ids:
             self._insert(
-                src, dst2, new_label, merged, loaded, parts, spills, dirty,
+                src, dst2, new_label_id, merged, loaded, parts, spills, dirty,
                 frontier, check=True,
             )
 
-    def _compose_labels(self, edge1, edge2):
+    def _compose_labels(
+        self, src, dst, label1_id, enc1, dst2, label2_id, enc2
+    ):
+        """Label ids produced by composing the two edges' labels.
+
+        Table-driven grammars compose on labels alone, so the result is
+        memoised on the interned label-id pair -- an int-tuple identity
+        probe instead of nested tuple hashing.  Encoding-sensitive
+        grammars (the dataflow grammar consults edge feasibility) are
+        called per composition with the decoded edges.
+        """
+        labels = self._graph.labels
         if self._table_driven:
-            key = (edge1[2], edge2[2])
+            key = (label1_id, label2_id)
             memo = self._compose_memo.get(key)
             if memo is None:
-                memo = tuple(self.grammar.compose(edge1, edge2, self._ctx))
+                table = self._enc
+                edge1 = (src, dst, labels.lookup(label1_id), table.decode(enc1))
+                edge2 = (dst, dst2, labels.lookup(label2_id), table.decode(enc2))
+                memo = tuple(
+                    labels.intern(label)
+                    for label in self.grammar.compose(edge1, edge2, self._ctx)
+                )
                 self._compose_memo[key] = memo
             return memo
-        return tuple(self.grammar.compose(edge1, edge2, self._ctx))
+        table = self._enc
+        edge1 = (src, dst, labels.lookup(label1_id), table.decode(enc1))
+        edge2 = (dst, dst2, labels.lookup(label2_id), table.decode(enc2))
+        return tuple(
+            labels.intern(label)
+            for label in self.grammar.compose(edge1, edge2, self._ctx)
+        )
 
     def _insert(
-        self, src, dst, label, encoding, loaded, parts, spills, dirty,
+        self, src, dst, label_id, eid, loaded, parts, spills, dirty,
         frontier, check: bool,
     ) -> None:
         stats = self.stats
-        labels = self._graph.labels
-        label_id = labels.intern(label)
         # Find where the edge lives: a loaded partition or a spill buffer.
-        slot = None
+        cols = None
         owner_index = None
         for index, part in parts.items():
             if part.owns(src):
                 owner_index = index
-                slot = (
-                    loaded[index]
-                    .setdefault(src, {})
-                    .setdefault((dst, label_id), set())
-                )
+                cols = loaded[index]
                 break
-        if slot is None:
+        if cols is None:
             target = self._store.partition_of(src)
             slot = (
                 spills.setdefault(target.index, {})
                 .setdefault(src, {})
                 .setdefault((dst, label_id), set())
             )
-        if encoding in slot:
-            return
-        if len(slot) >= self.options.witness_cap:
-            return
-        if check and not self._feasible((encoding,)):
-            stats.infeasible_dropped += 1
-            return
-        slot.add(encoding)
-        stats.new_edges += 1
-        if owner_index is not None:
+            if eid in slot:
+                return
+            if len(slot) >= self.options.witness_cap:
+                return
+            if check and not self._feasible_id(eid):
+                stats.infeasible_dropped += 1
+                return
+            slot.add(eid)
+            stats.new_edges += 1
+        else:
+            if cols.contains(src, dst, label_id, eid):
+                return
+            if cols.witness_count(src, dst, label_id) >= self.options.witness_cap:
+                return
+            if check and not self._feasible_id(eid):
+                stats.infeasible_dropped += 1
+                return
+            cols.insert(src, dst, label_id, eid)
+            stats.new_edges += 1
             if self._new_edge_sink is not None:
-                self._new_edge_sink(owner_index, src, dst, label_id, encoding)
+                self._new_edge_sink(owner_index, src, dst, label_id, eid)
             owner = parts[owner_index]
             dirty.add(owner_index)
             owner.version += 1
             owner.edge_count += 1
-            owner.byte_estimate += estimate_edge_bytes(encoding)
-            if self.grammar.relevant_source(label):
-                frontier.append((src, dst, label_id, encoding))
+            owner.byte_estimate += self._enc.row_bytes(eid)
+            if self._rel_src_id(label_id):
+                frontier.append((src, dst, label_id, eid))
             # Eager repartitioning (§4.3): split as soon as the loaded
             # partition's edge data exceeds the threshold, not at the end
             # of the iteration.
             if self._store.needs_split(owner):
                 self._split_loaded(owner_index, loaded, parts, spills, dirty)
         # Derived edges (e.g. flowsToBar from flowsTo).
-        for derived_label, rev in self.grammar.derived(label):
+        for derived_label_id, rev in self._derived_ids(label_id):
             if rev:
-                with stats.timing("encode_time"):
-                    rev_enc = self._reverse_encoding(encoding)
                 self._insert(
-                    dst, src, derived_label, rev_enc, loaded, parts, spills,
-                    dirty, frontier, check=False,
+                    dst, src, derived_label_id, self._reverse_id(eid),
+                    loaded, parts, spills, dirty, frontier, check=False,
                 )
             else:
                 self._insert(
-                    src, dst, derived_label, encoding, loaded, parts, spills,
+                    src, dst, derived_label_id, eid, loaded, parts, spills,
                     dirty, frontier, check=False,
                 )
 
@@ -476,68 +631,111 @@ class GraphEngine:
         # Pending spills may be routed by stale boundaries; flush first.
         self._flush_spills(spills)
         spills.clear()
-        part, edges = parts[index], loaded[index]
-        left, left_edges, right, _right_edges = self._store.split(part, edges)
+        part, cols = parts[index], loaded[index]
+        left, left_cols, right, _right_cols = self._store.split(part, cols)
         if right is None:
             return
         parts[index] = left
-        loaded[index] = left_edges
+        loaded[index] = left_cols
         dirty.discard(index)  # split() persisted the left half already
 
     def _flush_spills(self, spills) -> None:
         """Write buffered edges for unloaded partitions, re-routing each
         source by the *current* partition boundaries (splits may have
-        moved them since the edge was buffered)."""
+        moved them since the edge was buffered).  Spill buffers hold
+        encoding ids; the delta files speak tuples, so decode here."""
         store = self._store
+        decode = self._enc.decode
         rerouted: dict = {}
         for chunk in spills.values():
             for src, targets in chunk.items():
                 owner = store.partition_of(src)
                 bucket = rerouted.setdefault(owner.index, {})
                 mine = bucket.setdefault(src, {})
-                for key, encodings in targets.items():
-                    mine.setdefault(key, set()).update(encodings)
+                for key, eids in targets.items():
+                    slot = mine.setdefault(key, set())
+                    for eid in eids:
+                        slot.add(decode(eid))
         for index, chunk in rerouted.items():
             store.append_delta(store.partitions[index], chunk)
 
     # -- constraint feasibility --------------------------------------------------
 
     def _feasible(self, encodings: tuple) -> bool:
-        """Satisfiability of the conjunction of the encodings' constraints."""
+        """Satisfiability of the conjunction of the encodings' constraints.
+
+        Entry point for grammar callbacks (``ComposeContext.feasible``),
+        which pass encoding tuples; interning them here keys the verdict
+        memo by hash-consed id.
+        """
+        if not self.options.path_sensitive:
+            return True
+        intern = self._enc.intern
+        if len(encodings) == 1:
+            return self._feasible_id(intern(encodings[0]))
+        ids = tuple(sorted(intern(encoding) for encoding in encodings))
+        stats = self.stats
+        stats.constraint_queries += 1
+        if self.options.enable_cache:
+            cached = self._feasible_memo.get(ids)
+            if cached is not None:
+                stats.cache_hits += 1
+                self.solver.stats.memo_hits += 1
+                return cached
+        return self._feasible_solve(ids, tuple(sorted(encodings)))
+
+    def _feasible_id(self, eid: int) -> bool:
+        """Single-encoding feasibility, memoised by hash-consed id."""
         if not self.options.path_sensitive:
             return True
         stats = self.stats
-        key = encodings if len(encodings) == 1 else tuple(sorted(encodings))
         stats.constraint_queries += 1
         if self.options.enable_cache:
-            cached = self.cache.get(key)
+            cached = self._feasible_memo.get(eid)
             if cached is not None:
                 stats.cache_hits += 1
+                self.solver.stats.memo_hits += 1
+                return cached
+        return self._feasible_solve((eid,), (self._enc.decode(eid),))
+
+    def _feasible_solve(self, ids: tuple, encodings: tuple) -> bool:
+        """Memo-miss path: consult the tuple-keyed LRU (shareable across
+        processes), then decode and solve."""
+        stats = self.stats
+        self.solver.stats.memo_misses += 1
+        memo_key = ids[0] if len(ids) == 1 else ids
+        lru_key = encodings if len(encodings) == 1 else tuple(sorted(encodings))
+        if self.options.enable_cache:
+            cached = self.cache.get(lru_key)
+            if cached is not None:
+                stats.cache_hits += 1
+                self._feasible_memo.put(memo_key, cached)
                 return cached
         start = time.perf_counter()
         constraints = []
         with stats.timing("encode_time"):
-            for encoding in encodings:
+            for eid in ids:
                 # The decode memo is part of the same memoisation story as
                 # the solve cache: Table 4's "without caching" runs redo
                 # the full lookup + solve on every query.
                 constraint = (
-                    self._decode_cache.get(encoding)
+                    self._decode_cache.get(eid)
                     if self.options.enable_cache
                     else None
                 )
                 if constraint is None:
-                    constraint = self._decode(encoding)
+                    constraint = self._decode(self._enc.decode(eid))
                     if (
                         self.options.enable_cache
-                        and len(self._decode_cache) < 500_000
+                        and len(self._decode_cache) < DECODE_CACHE_CAP
                     ):
-                        self._decode_cache[encoding] = constraint
+                        self._decode_cache[eid] = constraint
                 constraints.append(constraint)
         with stats.timing("smt_time"):
             stats.constraints_solved += 1
             result = self.solver.check(E.and_(*constraints)) is Result.SAT
         stats.feasibility_time += time.perf_counter() - start
         if self.options.enable_cache:
-            self.cache.put(key, result)
+            self.cache.put(lru_key, result)
+            self._feasible_memo.put(memo_key, result)
         return result

@@ -1,0 +1,234 @@
+"""Background partition I/O: prefetched reads and double-buffered spills.
+
+Grapple hides disk latency behind computation (paper §4.3): while one
+partition pair is being composed, the next pair's partitions are already
+being read and decoded.  The scheduler knows the upcoming pairs
+(:meth:`PairScheduler.peek_pairs` / the coordinator's ``select_wave``),
+so the engine hands them to a :class:`PrefetchReader` whose daemon
+thread reads the partition file *and* any pending delta frames and
+parses them into plain data (``serialize.parse_columnar`` is pure --
+no shared interning state is touched off-thread).  The consumer
+validates the partition's version at :meth:`PrefetchReader.take` time:
+any write that happened after the prefetch was scheduled bumps the
+version and turns the prefetch into a miss, so stale bytes can never be
+adopted.
+
+Spill (delta) writes go the other way: :class:`SpillWriter` queues
+length-prefixed frames and appends them from a writer thread, optionally
+zlib-compressing each frame (``EngineOptions.compress_spills``).  The
+store flushes the writer for a path before any read of that path, which
+keeps the read side oblivious to the buffering.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+
+from repro.engine import serialize
+
+
+class PrefetchReader:
+    """Reads and parses upcoming partitions on a background thread."""
+
+    def __init__(self) -> None:
+        self._tasks: queue.Queue = queue.Queue()
+        self._results: dict[int, dict] = {}
+        self._lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._closed = False
+
+    def _ensure_thread(self) -> None:
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._run, name="grapple-prefetch", daemon=True
+            )
+            self._thread.start()
+
+    # -- producer side --------------------------------------------------------
+
+    def schedule(self, index: int, version: int, path: str,
+                 delta_path: str) -> None:
+        """Ask the reader to parse partition ``index`` as of ``version``.
+
+        Re-scheduling the same (index, version) is a no-op; scheduling a
+        newer version supersedes the old entry.
+        """
+        if self._closed:
+            return
+        with self._lock:
+            entry = self._results.get(index)
+            if entry is not None and entry["version"] == version:
+                return
+            entry = {
+                "version": version,
+                "ready": threading.Event(),
+                "parsed": None,
+                "deltas": None,
+            }
+            self._results[index] = entry
+        self._ensure_thread()
+        self._tasks.put((index, version, path, delta_path, entry))
+
+    def _run(self) -> None:
+        while True:
+            task = self._tasks.get()
+            if task is None:
+                return
+            index, version, path, delta_path, entry = task
+            try:
+                with open(path, "rb") as f:
+                    parsed = serialize.parse_columnar(f.read())
+                deltas = []
+                if os.path.exists(delta_path):
+                    # Parse the delta frames but do NOT remove the file;
+                    # the consumer owns its lifecycle.
+                    with open(delta_path, "rb") as f:
+                        data = f.read()
+                    pos = 0
+                    while pos < len(data):
+                        length = int.from_bytes(data[pos : pos + 4], "little")
+                        pos += 4
+                        deltas.append(
+                            serialize.decode_partition(data[pos : pos + length])
+                        )
+                        pos += length
+                entry["parsed"] = parsed
+                entry["deltas"] = deltas
+            except Exception:
+                # Any failure (truncated write race, missing file) simply
+                # leaves the entry empty: take() reports a miss and the
+                # caller falls back to a synchronous load.
+                entry["parsed"] = None
+                entry["deltas"] = None
+            finally:
+                entry["ready"].set()
+
+    # -- consumer side --------------------------------------------------------
+
+    def take(self, index: int, version: int):
+        """Claim a prefetched parse for (index, version).
+
+        Returns ``(ColumnarFile, [delta_dict, ...])`` on a hit, or
+        ``None`` on a miss (never scheduled, version changed since, or
+        the read failed).  Blocks until an in-flight read finishes --
+        the wait is never longer than the synchronous read would be.
+        """
+        with self._lock:
+            entry = self._results.pop(index, None)
+        if entry is None:
+            return None
+        entry["ready"].wait()
+        if entry["version"] != version or entry["parsed"] is None:
+            return None
+        return entry["parsed"], entry["deltas"]
+
+    def invalidate(self, index: int) -> None:
+        """Drop any pending/completed prefetch for a partition."""
+        with self._lock:
+            self._results.pop(index, None)
+
+    def close(self) -> None:
+        self._closed = True
+        with self._lock:
+            self._results.clear()
+        if self._thread is not None and self._thread.is_alive():
+            self._tasks.put(None)
+            self._thread.join(timeout=5)
+
+
+class SpillWriter:
+    """Double-buffered append-only writer for partition delta frames.
+
+    Frames are queued by the engine thread and written (optionally
+    zlib-compressed) by a daemon writer thread; :meth:`flush` blocks
+    until every queued frame for a path (or all paths) has hit disk.
+    Exceptions raised on the writer thread surface at the next flush.
+    """
+
+    def __init__(self, compress: bool = False) -> None:
+        self.compress = compress
+        # Mutated only by the writer thread; fold into EngineStats after
+        # close() so no counter is written from two threads.
+        self.frames_written = 0
+        self.bytes_written = 0
+        self._tasks: queue.Queue = queue.Queue()
+        self._pending: dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._error: BaseException | None = None
+        self._thread: threading.Thread | None = None
+        self._closed = False
+
+    def _ensure_thread(self) -> None:
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._run, name="grapple-spill-writer", daemon=True
+            )
+            self._thread.start()
+
+    def append(self, path: str, payload: bytes) -> None:
+        """Queue one length-prefixed frame for append to ``path``."""
+        if self._closed:
+            raise RuntimeError("SpillWriter is closed")
+        with self._lock:
+            if self._error is not None:
+                error, self._error = self._error, None
+                raise error
+            self._pending[path] = self._pending.get(path, 0) + 1
+        self._ensure_thread()
+        self._tasks.put((path, payload))
+
+    def _run(self) -> None:
+        while True:
+            task = self._tasks.get()
+            if task is None:
+                return
+            path, payload = task
+            try:
+                if self.compress:
+                    payload = serialize.compress_payload(payload)
+                with open(path, "ab") as f:
+                    f.write(len(payload).to_bytes(4, "little"))
+                    f.write(payload)
+                self.frames_written += 1
+                self.bytes_written += len(payload)
+            except BaseException as exc:  # surfaced at next flush/append
+                with self._lock:
+                    self._error = exc
+            finally:
+                with self._lock:
+                    left = self._pending.get(path, 1) - 1
+                    if left:
+                        self._pending[path] = left
+                    else:
+                        self._pending.pop(path, None)
+                    self._idle.notify_all()
+
+    def pending(self, path: str) -> bool:
+        """True when frames for ``path`` are still queued or in flight."""
+        with self._lock:
+            return bool(self._pending.get(path))
+
+    def flush(self, path: str | None = None) -> None:
+        """Wait until queued frames (for ``path``, or all) are on disk."""
+        with self._lock:
+            if path is None:
+                while self._pending:
+                    self._idle.wait()
+            else:
+                while self._pending.get(path):
+                    self._idle.wait()
+            if self._error is not None:
+                error, self._error = self._error, None
+                raise error
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.flush()
+        self._closed = True
+        if self._thread is not None and self._thread.is_alive():
+            self._tasks.put(None)
+            self._thread.join(timeout=5)

@@ -42,6 +42,13 @@ grammar can ever produce (:meth:`Grammar.closure_labels`) before forking;
 a worker that still allocates a new label id fails loudly rather than
 corrupt the label table.  On platforms without ``fork`` everything runs
 inline.
+
+Encoding ids are a different story: each process hash-conses encodings
+into its own :class:`~repro.engine.columnar.EncodingTable`, so ids are
+never valid across the boundary.  Everything that crosses it -- delta
+edges in :class:`WaveTask`, new edges and spill chunks in
+:class:`WaveResult`, warm-cache entries -- stays tuple-encoded; workers
+intern on receipt, the engine decodes on send.
 """
 
 from __future__ import annotations
@@ -54,8 +61,9 @@ from dataclasses import dataclass, field
 
 from repro.engine import serialize
 from repro.engine.cache import LRUCache
+from repro.engine.columnar import EdgeColumns, EncodingTable
 from repro.engine.computation import GraphEngine
-from repro.engine.partition import _count_edges, _estimate_bytes, _merge_edges
+from repro.engine.partition import _merge_edges
 from repro.engine.scheduling import PairScheduler
 from repro.engine.stats import EngineStats
 
@@ -100,7 +108,8 @@ class WaveTask:
     #: ``None`` for inline tasks, which see the real store directly.
     parts: dict | None
     #: Pair-partition index -> delta edges since the pair was last
-    #: processed; ``None`` means "unknown / process fully".
+    #: processed; ``None`` means "unknown / process fully".  Edges are
+    #: tuple-encoded (ids are process-local).
     deltas: dict
     #: Warm constraint-cache entries to fold into the worker-local LRU.
     cache_seed: list = field(default_factory=list)
@@ -160,20 +169,22 @@ class _WorkerStore:
     """Duck-typed store view for one out-of-process task.
 
     Loads the pair's partitions from their files through a small
-    version-validated cache of decoded partitions (the persistent worker
-    sees the same partitions wave after wave), never splits, and records
+    version-validated cache of decoded :class:`EdgeColumns` (the
+    persistent worker sees the same partitions wave after wave, interning
+    into the worker-local encoding table), never splits, and records
     deltas for unloaded partitions as in-memory spill chunks.
     """
 
-    def __init__(self, stats: EngineStats):
+    def __init__(self, stats: EngineStats, table: EncodingTable):
         self.stats = stats
+        self.table = table
         self.partitions: dict = {}
         self._los: list = []
         self._by_lo: list = []
         self._snapshot_versions: dict = {}
         self.spill_chunks: dict = {}
         self.dirty: set = set()
-        # index -> (version the entry is valid for, decoded edges)
+        # index -> (version the entry is valid for, decoded columns)
         self._decoded: dict = {}
 
     def set_snapshot(self, parts: dict) -> None:
@@ -185,27 +196,28 @@ class _WorkerStore:
         self.spill_chunks = {}
         self.dirty = set()
 
-    def load(self, part) -> dict:
+    def load(self, part) -> EdgeColumns:
         entry = self._decoded.get(part.index)
         if entry is not None and entry[0] == part.version:
             return entry[1]
         with self.stats.timing("io_time"):
             with open(part.path, "rb") as f:
-                edges = serialize.decode_partition(f.read())
-        self._cache_decoded(part.index, part.version, edges)
-        return edges
+                parsed = serialize.parse_columnar(f.read())
+            cols = EdgeColumns.from_file(parsed, self.table)
+        self._cache_decoded(part.index, part.version, cols)
+        return cols
 
-    def _cache_decoded(self, index: int, version: int, edges: dict) -> None:
-        self._decoded[index] = (version, edges)
+    def _cache_decoded(self, index: int, version: int, cols) -> None:
+        self._decoded[index] = (version, cols)
         while len(self._decoded) > WORKER_CACHE_SLOTS:
             victim = next(iter(self._decoded))
             if victim == index:
                 break
             del self._decoded[victim]
 
-    def save(self, part, edges: dict) -> None:
-        part.edge_count = _count_edges(edges)
-        part.byte_estimate = _estimate_bytes(edges)
+    def save(self, part, cols) -> None:
+        part.edge_count = cols.edge_count
+        part.byte_estimate = cols.columnar_bytes()
         self.dirty.add(part.index)
         # The coordinator bumps the canonical version by exactly one when
         # it merges this task's new edges; cache the decoded copy
@@ -214,7 +226,7 @@ class _WorkerStore:
         # spill chunks from other pairs bump it further, the version
         # check forces a clean reload.
         self._cache_decoded(
-            part.index, self._snapshot_versions[part.index] + 1, edges
+            part.index, self._snapshot_versions[part.index] + 1, cols
         )
 
     def partition_of(self, src: int):
@@ -234,32 +246,28 @@ class _WorkerStore:
 
 
 class _WorkerEngine(GraphEngine):
-    """Engine variant for pair tasks: delta seeding, no splits, logging
-    LRU, and a merge memo (encoding merges repeat heavily across waves)."""
+    """Engine variant for pair tasks: delta seeding, no splits, and a
+    logging LRU whose tuple-keyed entries ride back to the coordinator
+    (the id-keyed memos of the base engine stay process-local)."""
 
     def __init__(self, icfet, grammar, options, graph, store=None):
         super().__init__(icfet, grammar, options)
         self.cache = _LoggingLRU(options.cache_capacity)
         self._graph = graph
-        self._store = store if store is not None else _WorkerStore(self.stats)
+        if store is not None:
+            # Inline task: share the real store's interning so ids in
+            # its cached EdgeColumns stay meaningful.
+            self._store = store
+            self._enc = store.table
+        else:
+            self._store = _WorkerStore(self.stats, self._enc)
         from repro.grammar.cfg_grammar import ComposeContext
 
         self._ctx = ComposeContext(
             feasible=self._feasible, vertex=graph.vertices.lookup
         )
         self._deadline = None
-        self._merge_memo: dict = {}
         self._task_deltas: dict = {}
-
-    def _merge_encodings(self, enc1, enc2):
-        key = (enc1, enc2)
-        memo = self._merge_memo
-        if key in memo:
-            return memo[key]
-        merged = super()._merge_encodings(enc1, enc2)
-        if len(memo) < 500_000:
-            memo[key] = merged
-        return merged
 
     def _process_pair(self, i: int, j: int) -> None:
         """Semi-naive worklist over one pair.
@@ -281,14 +289,14 @@ class _WorkerEngine(GraphEngine):
             loaded[j] = store.load(store.partitions[j])
         dirty: set = set()
         spills: dict = {}
-        labels = self._graph.labels
-        relevant_source = self.grammar.relevant_source
-        relevant_target = self.grammar.relevant_target
+        rel_src = self._rel_src_id
+        rel_tgt = self._rel_tgt_id
+        intern = self._enc.intern
 
-        def out_edges(v: int):
+        def out_rows(v: int):
             for index, part in parts.items():
                 if part.owns(v):
-                    return loaded[index].get(v)
+                    return loaded[index].out_rows(v)
             return None
 
         def owned(v: int) -> bool:
@@ -302,13 +310,10 @@ class _WorkerEngine(GraphEngine):
         # removes the O(P) frontier churn of wide stores.
         in_index: dict = {}
         self._pair_owned = owned
-        for index, edges in loaded.items():
-            for src, targets in edges.items():
-                for (dst, label_id), encodings in targets.items():
-                    if owned(dst) and relevant_source(labels.lookup(label_id)):
-                        slot = in_index.setdefault(dst, [])
-                        for encoding in encodings:
-                            slot.append((src, label_id, encoding))
+        for cols in loaded.values():
+            for src, dst, label_id, eid in cols.iter_rows():
+                if owned(dst) and rel_src(label_id):
+                    in_index.setdefault(dst, []).append((src, label_id, eid))
         # The new-edge sink (installed by run_task) keeps both live.
         self._pair_in_index = in_index
         self._pair_rhs = rhs
@@ -318,48 +323,59 @@ class _WorkerEngine(GraphEngine):
         if any(delta is None for delta in deltas):
             # First processing (or delta log invalidated by a split):
             # seed with every relevant-source edge joinable in the pair.
-            for index, edges in loaded.items():
-                for src, targets in edges.items():
-                    for (dst, label_id), encodings in targets.items():
-                        if owned(dst) and relevant_source(
-                            labels.lookup(label_id)
-                        ):
-                            for encoding in encodings:
-                                frontier.append((src, dst, label_id, encoding))
+            for cols in loaded.values():
+                for row in cols.iter_rows():
+                    if owned(row[1]) and rel_src(row[2]):
+                        frontier.append(row)
         else:
-            new_edges = [edge for delta in deltas for edge in delta]
+            new_edges = [
+                (src, dst, label_id, intern(encoding))
+                for delta in deltas
+                for src, dst, label_id, encoding in delta
+            ]
             seeded = set(new_edges)
             for edge in new_edges:
-                label = labels.lookup(edge[2])
-                if owned(edge[1]) and relevant_source(label):
+                if owned(edge[1]) and rel_src(edge[2]):
                     frontier.append(edge)
-                if relevant_target(label):
+                if rel_tgt(edge[2]):
                     rhs.append(edge)
 
         compute_start = time.perf_counter()
         accounted = (
             self.stats.io_time + self.stats.encode_time + self.stats.smt_time
         )
+        stats = self.stats
         while frontier or rhs:
             while frontier:
-                src, dst, label_id, encoding = frontier.pop()
-                targets = out_edges(dst)
-                if not targets:
-                    continue
-                edge1 = (src, dst, labels.lookup(label_id), encoding)
-                for (dst2, label2_id), encodings2 in list(targets.items()):
-                    label2 = labels.lookup(label2_id)
-                    if not self.grammar.relevant_target(label2):
-                        continue
-                    for encoding2 in list(encodings2):
-                        edge2 = (dst, dst2, label2, encoding2)
-                        self._compose_edges(
-                            edge1, edge2, loaded, parts, spills, dirty,
-                            frontier,
-                        )
+                # Same merge-join drain as the serial engine: sort the
+                # round's left operands by join vertex, probe each
+                # distinct vertex's sorted right-hand run once.
+                batch = frontier
+                frontier = []
+                batch.sort(key=lambda edge: edge[1])
+                stats.join_batches += 1
+                at, n = 0, len(batch)
+                while at < n:
+                    dst = batch[at][1]
+                    end = at + 1
+                    while end < n and batch[end][1] == dst:
+                        end += 1
+                    rows = out_rows(dst)
+                    if rows:
+                        stats.join_probes += 1
+                        rows = [row for row in rows if rel_tgt(row[1])]
+                    if rows:
+                        for k in range(at, end):
+                            src, _, label1_id, enc1 = batch[k]
+                            for dst2, label2_id, enc2 in rows:
+                                self._compose_edges(
+                                    src, dst, label1_id, enc1,
+                                    dst2, label2_id, enc2,
+                                    loaded, parts, spills, dirty, frontier,
+                                )
+                    at = end
             if rhs:
                 src2, dst2, label2_id, enc2 = item = rhs.pop()
-                edge2 = (src2, dst2, labels.lookup(label2_id), enc2)
                 # Seeded rights were already present when the seeded
                 # lefts drained, so skipping seeded x seeded here loses
                 # nothing; runtime-inserted edges get no such guarantee
@@ -369,9 +385,9 @@ class _WorkerEngine(GraphEngine):
                 for src1, label1_id, enc1 in list(in_index.get(src2, ())):
                     if item_seeded and (src1, src2, label1_id, enc1) in seeded:
                         continue
-                    edge1 = (src1, src2, labels.lookup(label1_id), enc1)
                     self._compose_edges(
-                        edge1, edge2, loaded, parts, spills, dirty, frontier
+                        src1, src2, label1_id, enc1, dst2, label2_id, enc2,
+                        loaded, parts, spills, dirty, frontier,
                     )
 
         self._flush_spills(spills)
@@ -393,20 +409,20 @@ class _WorkerEngine(GraphEngine):
         labels_before = len(labels)
 
         new_edges: dict = {}
-        relevant_source = self.grammar.relevant_source
-        relevant_target = self.grammar.relevant_target
+        rel_src = self._rel_src_id
+        rel_tgt = self._rel_tgt_id
+        decode = self._enc.decode
 
-        def sink(owner, src, dst, label_id, encoding):
+        def sink(owner, src, dst, label_id, eid):
             new_edges.setdefault(owner, []).append(
-                (src, dst, label_id, encoding)
+                (src, dst, label_id, decode(eid))
             )
-            label = labels.lookup(label_id)
-            if relevant_source(label) and self._pair_owned(dst):
+            if rel_src(label_id) and self._pair_owned(dst):
                 self._pair_in_index.setdefault(dst, []).append(
-                    (src, label_id, encoding)
+                    (src, label_id, eid)
                 )
-            if relevant_target(label):
-                self._pair_rhs.append((src, dst, label_id, encoding))
+            if rel_tgt(label_id):
+                self._pair_rhs.append((src, dst, label_id, eid))
 
         self._new_edge_sink = sink
         try:
@@ -446,13 +462,14 @@ def _worker_run(task: WaveTask) -> WaveResult:
 class _InlineStore(_WorkerStore):
     """Worker-store facade over the coordinator's real store, used for
     pairs processed in the coordinator process: loads and saves go
-    through the store's write-back cache (no IPC, no redundant decode),
-    spills are still collected for the coordinator's dedup merge, and
-    the I/O the real store does on our behalf is accounted to the inline
-    engine's stats so the pair's compute time stays truthful."""
+    through the store's write-back cache (no IPC, no redundant decode,
+    shared encoding table), spills are still collected for the
+    coordinator's dedup merge, and the I/O the real store does on our
+    behalf is accounted to the inline engine's stats so the pair's
+    compute time stays truthful."""
 
     def __init__(self, real):
-        super().__init__(real.stats)
+        super().__init__(real.stats, real.table)
         self._real = real
 
     def set_snapshot(self, parts) -> None:  # real partitions, not views
@@ -460,7 +477,7 @@ class _InlineStore(_WorkerStore):
         self.spill_chunks = {}
         self.dirty = set()
 
-    def load(self, part) -> dict:
+    def load(self, part) -> EdgeColumns:
         real = self._real
         saved, real.stats = real.stats, self.stats
         try:
@@ -468,12 +485,12 @@ class _InlineStore(_WorkerStore):
         finally:
             real.stats = saved
 
-    def save(self, part, edges: dict) -> None:
+    def save(self, part, cols) -> None:
         self.dirty.add(part.index)
         real = self._real
         saved, real.stats = real.stats, self.stats
         try:
-            real.save(part, edges)
+            real.save(part, cols)
         finally:
             real.stats = saved
 
@@ -497,20 +514,28 @@ class _JoinIndex:
     def __init__(self, relevant_source, lookup):
         self._relevant_source = relevant_source
         self._lookup = lookup
+        self._rel_memo: dict = {}
         self._sets: dict = {}
         self._sorted: dict = {}  # index -> sorted snapshot (None = stale)
 
+    def _relevant(self, label_id: int) -> bool:
+        value = self._rel_memo.get(label_id)
+        if value is None:
+            value = self._rel_memo[label_id] = self._relevant_source(
+                self._lookup(label_id)
+            )
+        return value
+
     def add(self, index: int, dst: int, label_id: int) -> None:
-        if self._relevant_source(self._lookup(label_id)):
+        if self._relevant(label_id):
             self._sets.setdefault(index, set()).add(dst)
             self._sorted[index] = None
 
-    def rebuild(self, index: int, edges: dict) -> None:
+    def rebuild(self, index: int, cols: EdgeColumns) -> None:
         dsts = set()
-        for src, targets in edges.items():
-            for dst, label_id in targets:
-                if self._relevant_source(self._lookup(label_id)):
-                    dsts.add(dst)
+        for _src, dst, label_id, _eid in cols.iter_rows():
+            if self._relevant(label_id):
+                dsts.add(dst)
         self._sets[index] = dsts
         self._sorted[index] = None
 
@@ -595,9 +620,10 @@ class ParallelCoordinator:
         engine = self.engine
         scheduler = PairScheduler(store)
         # Per-partition delta logs: every edge added since initialisation,
-        # in arrival order.  last_pos[pair] records (epoch_i, len_i,
-        # epoch_j, len_j) at dispatch; an epoch mismatch (the partition
-        # split since) forces full reprocessing of the pair.
+        # in arrival order (tuple-encoded -- they cross into workers).
+        # last_pos[pair] records (epoch_i, len_i, epoch_j, len_j) at
+        # dispatch; an epoch mismatch (the partition split since) forces
+        # full reprocessing of the pair.
         logs: dict = {i: [] for i in range(len(store.partitions))}
         epochs: dict = {i: 0 for i in range(len(store.partitions))}
         last_pos: dict = {}
@@ -767,6 +793,15 @@ class ParallelCoordinator:
                     for _src, dst, label_id, _enc in added:
                         self._joins.add(index, dst, label_id)
             self._split_oversized(touched, logs, epochs)
+            # Wave lookahead for the I/O pipeline: the predicted next
+            # wave's first pair runs inline through store.load, so start
+            # its reads now.  (Pooled pairs read the files in their own
+            # processes; prefetching here would not reach them.)
+            if store.prefetch is not None:
+                predicted = scheduler.peek_wave(max(1, width))
+                if predicted:
+                    for index in set(predicted[0]):
+                        store.prefetch_schedule(store.partitions[index])
 
     def _split_oversized(self, touched, logs: dict, epochs: dict) -> None:
         """Serial between-wave repartitioning; a split moves edges between
@@ -776,14 +811,14 @@ class ParallelCoordinator:
             part = store.partitions[index]
             if not store.needs_split(part):
                 continue
-            edges = store.load(part)
+            cols = store.load(part)
             while store.needs_split(part):
-                part, edges, new_part, new_edges = store.split(part, edges)
+                part, cols, new_part, new_cols = store.split(part, cols)
                 if new_part is None:
                     break
                 logs[part.index] = []
                 epochs[part.index] = epochs.get(part.index, 0) + 1
                 logs[new_part.index] = []
                 epochs[new_part.index] = 0
-                self._joins.rebuild(part.index, edges)
-                self._joins.rebuild(new_part.index, new_edges)
+                self._joins.rebuild(part.index, cols)
+                self._joins.rebuild(new_part.index, new_cols)

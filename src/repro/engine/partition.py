@@ -6,6 +6,18 @@ iterations; the store loads at most two at a time (the computation's pair),
 buffers new edges destined for unloaded partitions in per-partition delta
 files, and splits any partition whose estimated in-memory size exceeds the
 budget ("eager repartitioning", §4.3).
+
+Loaded partitions are :class:`~repro.engine.columnar.EdgeColumns` (sorted
+int64 columns plus an insert overlay, encodings interned in the store's
+shared :class:`~repro.engine.columnar.EncodingTable`); partition files use
+the bulk columnar wire format (``serialize.encode_columnar``), so a load
+is four ``frombytes`` calls plus one pass over the (small) encoding table
+rather than a per-edge varint loop.  The memory budget is accounted in
+columnar bytes (32 per row plus string-payload text).  Delta files remain
+sequences of length-prefixed v1 frames -- they hold small tuple-shaped
+chunks arriving from spills and out-of-process workers -- optionally
+written through a background :class:`~repro.engine.io_pipeline.SpillWriter`
+and zlib-compressed per frame.
 """
 
 from __future__ import annotations
@@ -15,6 +27,7 @@ from bisect import bisect_right
 from dataclasses import dataclass, field
 
 from repro.engine import serialize
+from repro.engine.columnar import ROW_BYTES, EdgeColumns, EncodingTable
 from repro.engine.stats import EngineStats
 
 
@@ -39,18 +52,26 @@ class PartitionStore:
     """Manages the set of partitions for one engine run."""
 
     def __init__(self, workdir: str, memory_budget: int,
-                 stats: EngineStats | None = None, cache_slots: int = 4):
+                 stats: EngineStats | None = None, cache_slots: int = 4,
+                 table: EncodingTable | None = None,
+                 prefetch=None, spill_writer=None):
         self.workdir = workdir
         self.memory_budget = memory_budget
         self.stats = stats or EngineStats()
+        self.table = table if table is not None else EncodingTable()
+        # Optional I/O pipeline (engine/io_pipeline.py): a PrefetchReader
+        # whose thread parses upcoming partitions, and a SpillWriter that
+        # appends delta frames in the background.
+        self.prefetch = prefetch
+        self.spill_writer = spill_writer
         self.partitions: list[Partition] = []
         self._next_file = 0
-        # Write-back cache of recently used partitions: index -> edges dict.
+        # Write-back cache of recently used partitions: index -> columns.
         # Dirty entries are flushed on eviction.  Keeping a few partitions
         # resident is what keeps the I/O share of the runtime at the few
         # percent the paper reports.
         self.cache_slots = max(2, cache_slots)
-        self._cache: dict[int, dict] = {}
+        self._cache: dict[int, EdgeColumns] = {}
         self._dirty: set[int] = set()
         # Sorted (lo, index) view of the partition intervals for bisect
         # lookup; rebuilt lazily after any boundary change.
@@ -88,9 +109,10 @@ class PartitionStore:
             path=self._fresh_path("part"),
             delta_path=self._fresh_path("delta"),
         )
-        part.edge_count = _count_edges(chunk)
-        part.byte_estimate = _estimate_bytes(chunk)
-        self._save(part, chunk)
+        cols = EdgeColumns.from_dict(chunk, self.table)
+        part.edge_count = cols.edge_count
+        part.byte_estimate = cols.columnar_bytes()
+        self._save(part, cols)
         self.partitions.append(part)
         self._bounds_stale = True
         return part
@@ -102,49 +124,70 @@ class PartitionStore:
 
     # -- I/O ------------------------------------------------------------------
 
-    def _save(self, part: Partition, chunk: dict) -> None:
+    def _save(self, part: Partition, cols: EdgeColumns) -> None:
         with self.stats.timing("io_time"):
-            data = serialize.encode_partition(chunk)
+            data = cols.encode()
             with open(part.path, "wb") as f:
                 f.write(data)
 
-    def load(self, part: Partition) -> dict:
+    def load(self, part: Partition) -> EdgeColumns:
         """Load a partition (cache-aware), folding in pending deltas."""
         cached = self._cache.get(part.index)
         if cached is not None:
             return cached
+        parsed = None
+        deltas = None
+        if self.prefetch is not None:
+            got = self.prefetch.take(part.index, part.version)
+            if got is None:
+                self.stats.prefetch_misses += 1
+            else:
+                self.stats.prefetch_hits += 1
+                parsed, deltas = got
         with self.stats.timing("io_time"):
-            with open(part.path, "rb") as f:
-                edges = serialize.decode_partition(f.read())
-            delta = self._drain_delta(part)
-        added = _merge_edges(edges, delta)
+            if parsed is None:
+                with open(part.path, "rb") as f:
+                    parsed = serialize.parse_columnar(f.read())
+                deltas = self._drain_delta(part)
+            elif deltas:
+                # The reader already parsed the delta frames; the version
+                # check guarantees nothing was appended since, so consume
+                # the file here (the reader never deletes).
+                if self.spill_writer is not None:
+                    self.spill_writer.flush(part.delta_path)
+                if os.path.exists(part.delta_path):
+                    os.remove(part.delta_path)
+            cols = EdgeColumns.from_file(parsed, self.table)
+        added = 0
+        for chunk in deltas:
+            added += cols.merge_dict(chunk)
         if added:
             part.edge_count += added
-            part.byte_estimate = _estimate_bytes(edges)
-        self._cache_insert(part.index, edges, dirty=bool(added))
-        return edges
+            part.byte_estimate = cols.columnar_bytes()
+        self._cache_insert(part.index, cols, dirty=bool(added))
+        return cols
 
-    def save(self, part: Partition, edges: dict) -> None:
-        part.edge_count = _count_edges(edges)
-        part.byte_estimate = _estimate_bytes(edges)
-        self._cache_insert(part.index, edges, dirty=True)
+    def save(self, part: Partition, cols: EdgeColumns) -> None:
+        part.edge_count = cols.edge_count
+        part.byte_estimate = cols.columnar_bytes()
+        self._cache_insert(part.index, cols, dirty=True)
 
-    def _cache_insert(self, index: int, edges: dict, dirty: bool) -> None:
+    def _cache_insert(self, index: int, cols: EdgeColumns, dirty: bool) -> None:
         if dirty:
             self._dirty.add(index)
         if index in self._cache:
-            self._cache[index] = edges
+            self._cache[index] = cols
             return
         while len(self._cache) >= self.cache_slots:
             victim = next(iter(self._cache))
             self._evict(victim)
-        self._cache[index] = edges
+        self._cache[index] = cols
 
     def _evict(self, index: int) -> None:
-        edges = self._cache.pop(index)
+        cols = self._cache.pop(index)
         if index in self._dirty:
             self._dirty.discard(index)
-            self._save(self.partitions[index], edges)
+            self._save(self.partitions[index], cols)
 
     def flush(self) -> None:
         """Write every dirty cached partition back to disk."""
@@ -152,47 +195,76 @@ class PartitionStore:
             self._dirty.discard(index)
             self._save(self.partitions[index], self._cache[index])
 
-    def _drain_delta(self, part: Partition) -> dict:
+    def _drain_delta(self, part: Partition) -> list:
+        """Read and remove the pending delta file; a list of tuple-shaped
+        edge chunks (possibly empty)."""
+        if self.spill_writer is not None:
+            self.spill_writer.flush(part.delta_path)
         if not os.path.exists(part.delta_path):
-            return {}
+            return []
         with open(part.delta_path, "rb") as f:
             data = f.read()
         os.remove(part.delta_path)
-        merged: dict = {}
+        chunks = []
         pos = 0
         while pos < len(data):
             length = int.from_bytes(data[pos : pos + 4], "little")
             pos += 4
-            chunk = serialize.decode_partition(data[pos : pos + length])
+            chunks.append(serialize.decode_partition(data[pos : pos + length]))
             pos += length
-            for src, targets in chunk.items():
-                mine = merged.setdefault(src, {})
-                for key, encodings in targets.items():
-                    mine.setdefault(key, set()).update(encodings)
-        return merged
+        return chunks
 
     def append_delta(self, part: Partition, chunk: dict) -> None:
         """Buffer new edges for a partition that is not currently loaded
-        by the computation (merged directly when the partition is cached)."""
+        by the computation (merged directly when the partition is cached).
+        ``chunk`` is tuple-shaped: ``{src: {(dst, label_id): set}}``."""
         if not chunk:
             return
         cached = self._cache.get(part.index)
         if cached is not None:
-            added = _merge_edges(cached, chunk)
+            added = cached.merge_dict(chunk)
             if added:
                 self._dirty.add(part.index)
                 part.version += 1
                 part.edge_count += added
-                part.byte_estimate += _estimate_bytes(chunk)
+                part.byte_estimate = cached.columnar_bytes()
             return
         with self.stats.timing("io_time"):
             data = serialize.encode_partition(chunk)
-            with open(part.delta_path, "ab") as f:
-                f.write(len(data).to_bytes(4, "little"))
-                f.write(data)
+            if self.spill_writer is not None:
+                self.spill_writer.append(part.delta_path, data)
+            else:
+                with open(part.delta_path, "ab") as f:
+                    f.write(len(data).to_bytes(4, "little"))
+                    f.write(data)
         part.version += 1
         part.edge_count += _count_edges(chunk)
         part.byte_estimate += _estimate_bytes(chunk)
+
+    # -- prefetch ---------------------------------------------------------------
+
+    def prefetch_schedule(self, part: Partition) -> None:
+        """Hint that ``part`` is likely loaded soon.  Skipped when the
+        partition is already resident or its delta file still has frames
+        queued in the spill writer (the version check would reject the
+        read anyway)."""
+        if self.prefetch is None or part.index in self._cache:
+            return
+        if (
+            self.spill_writer is not None
+            and self.spill_writer.pending(part.delta_path)
+        ):
+            return
+        self.prefetch.schedule(
+            part.index, part.version, part.path, part.delta_path
+        )
+
+    def drop_pipeline(self) -> None:
+        """Detach the prefetch reader (the computation is done; result
+        iteration must not count misses)."""
+        if self.prefetch is not None:
+            self.prefetch.close()
+            self.prefetch = None
 
     # -- lookup / repartitioning ----------------------------------------------
 
@@ -218,31 +290,30 @@ class PartitionStore:
     def needs_split(self, part: Partition) -> bool:
         return part.byte_estimate > self.memory_budget // 2
 
-    def split(self, part: Partition, edges: dict) -> tuple:
+    def split(self, part: Partition, cols: EdgeColumns) -> tuple:
         """Split one loaded partition into two balanced halves.
 
-        Returns ``(left_part, left_edges, right_part, right_edges)``; the
+        Returns ``(left_part, left_cols, right_part, right_cols)``; the
         original descriptor is reused for the left half.
         """
         if part.hi - part.lo < 2:
-            return part, edges, None, None  # cannot split a single vertex
-        sources = sorted(edges)
-        if not sources:
-            return part, edges, None, None
-        total = _estimate_bytes(edges)
+            return part, cols, None, None  # cannot split a single vertex
+        weights = cols.src_weights()
+        if not weights:
+            return part, cols, None, None
+        total = cols.columnar_bytes()
         running = 0
         mid = None
-        for src in sources:
-            running += _estimate_bytes({src: edges[src]})
+        for src in sorted(weights):
+            running += weights[src]
             if running >= total // 2:
                 mid = src + 1
                 break
         if mid is None or mid <= part.lo or mid >= part.hi:
             mid = (part.lo + part.hi) // 2
         if mid <= part.lo or mid >= part.hi:
-            return part, edges, None, None
-        left = {s: t for s, t in edges.items() if s < mid}
-        right = {s: t for s, t in edges.items() if s >= mid}
+            return part, cols, None, None
+        left_cols, right_cols = cols.split_at(mid)
         new_part = Partition(
             index=len(self.partitions),
             lo=mid,
@@ -255,10 +326,10 @@ class PartitionStore:
         new_part.version = 1
         self.partitions.append(new_part)
         self._bounds_stale = True
-        self.save(part, left)
-        self.save(new_part, right)
+        self.save(part, left_cols)
+        self.save(new_part, right_cols)
         self.stats.repartitions += 1
-        return part, left, new_part, right
+        return part, left_cols, new_part, right_cols
 
     # -- parallel-coordinator support ------------------------------------------
 
@@ -266,7 +337,7 @@ class PartitionStore:
         return part.index in self._cache
 
     def merge_chunk(self, part: Partition, chunk: dict) -> list:
-        """Deduplicating merge of ``chunk`` into a partition.
+        """Deduplicating merge of a tuple-shaped ``chunk`` into a partition.
 
         Unlike :meth:`append_delta` on an uncached partition, this loads
         the partition and only bumps the version when genuinely new edges
@@ -276,11 +347,11 @@ class PartitionStore:
         """
         if not chunk:
             return []
-        edges = self.load(part)
+        cols = self.load(part)
         new_edges: list = []
-        added = _merge_edges(edges, chunk, collect=new_edges)
+        added = cols.merge_dict(chunk, collect=new_edges)
         if added:
-            self.save(part, edges)  # recomputes edge_count/byte_estimate
+            self.save(part, cols)  # recomputes edge_count/byte_estimate
             part.version += 1
         return new_edges
 
@@ -288,26 +359,27 @@ class PartitionStore:
         """Guarantee ``part.path`` on disk holds the partition's full,
         current contents (pending delta folded in, dirty cache flushed)
         so an out-of-process worker can read the file directly."""
+        if self.spill_writer is not None:
+            self.spill_writer.flush(part.delta_path)
         cached = self._cache.get(part.index)
         has_delta = os.path.exists(part.delta_path)
         if cached is None and not has_delta and part.index not in self._dirty:
             return  # disk already current
-        edges = self.load(part)  # folds delta, may mark dirty
+        cols = self.load(part)  # folds delta, may mark dirty
         if part.index in self._dirty:
             self._dirty.discard(part.index)
-            self._save(part, edges)
+            self._save(part, cols)
 
     def total_edges(self) -> int:
         return sum(p.edge_count for p in self.partitions)
 
     def iter_all_edges(self):
         """Stream every edge from disk: ``(src, dst, label_id, encoding)``."""
+        decode = self.table.decode
         for part in self.partitions:
-            edges = self.load(part)
-            for src, targets in edges.items():
-                for (dst, label_id), encodings in targets.items():
-                    for encoding in encodings:
-                        yield src, dst, label_id, encoding
+            cols = self.load(part)
+            for src, dst, label_id, eid in cols.iter_rows():
+                yield src, dst, label_id, decode(eid)
 
 
 def _balanced_boundaries(edges: dict, num_vertices: int, wanted: int):
@@ -332,9 +404,9 @@ def _balanced_boundaries(edges: dict, num_vertices: int, wanted: int):
 
 
 def _merge_edges(edges: dict, chunk: dict, collect: list | None = None) -> int:
-    """Union ``chunk`` into ``edges``; returns the number of genuinely new
-    edges.  When ``collect`` is given, the new ``(src, dst, label_id,
-    encoding)`` tuples are appended to it."""
+    """Union tuple-shaped ``chunk`` into tuple-shaped ``edges``; returns
+    the number of genuinely new edges.  When ``collect`` is given, the new
+    ``(src, dst, label_id, encoding)`` tuples are appended to it."""
     added = 0
     for src, targets in chunk.items():
         mine = edges.setdefault(src, {})
@@ -358,10 +430,14 @@ def _count_edges(edges: dict) -> int:
 
 
 def _estimate_bytes(edges: dict) -> int:
+    """Columnar-bytes estimate of a tuple-shaped edge dict (32 per row
+    plus string-constraint text, matching EdgeColumns accounting)."""
     total = 0
     for targets in edges.values():
-        total += 64
         for encodings in targets.values():
             for encoding in encodings:
-                total += serialize.estimate_edge_bytes(encoding)
+                total += ROW_BYTES
+                for elem in encoding:
+                    if elem[0] == "S":
+                        total += 64 + len(elem[1])
     return total

@@ -97,6 +97,41 @@ class PairScheduler:
             self._in_heap.discard(pair)
         return None
 
+    def peek_pairs(self, count: int = 1) -> list:
+        """The next up-to-``count`` eligible pairs in serial order,
+        without popping anything -- the I/O pipeline uses this lookahead
+        to prefetch the partitions the engine is about to load.  The
+        result is a prediction: processing the current pair can change
+        eligibility, in which case the prefetch simply goes stale."""
+        self._refresh()
+        out: list = []
+        for pair in heapq.nsmallest(len(self._heap), self._heap):
+            if self._eligible(pair):
+                out.append(pair)
+                if len(out) >= count:
+                    break
+        return out
+
+    def peek_wave(self, max_width: int) -> list:
+        """Predict :meth:`select_wave`'s next result without consuming
+        anything (same greedy disjointness rule over current
+        eligibility).  Wave lookahead for the prefetch pipeline."""
+        self._refresh()
+        wave: list = []
+        busy: set = set()
+        for pair in heapq.nsmallest(len(self._heap), self._heap):
+            if len(wave) >= max_width:
+                break
+            if not self._eligible(pair):
+                continue
+            i, j = pair
+            if i in busy or j in busy:
+                continue
+            busy.add(i)
+            busy.add(j)
+            wave.append(pair)
+        return wave
+
     def pop_pair(self, pair) -> None:
         """Remove ``pair`` from the queue (it is about to be processed)."""
         if self._heap and self._heap[0] == pair:

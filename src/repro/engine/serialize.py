@@ -1,33 +1,73 @@
-"""Binary on-disk format for edge partitions.
+"""Binary on-disk formats for edge partitions.
 
 Grapple inlines variable-sized interval sequences directly into per-edge
 storage (paper §4.3) rather than keeping pointer-linked objects; this
-module does the same for the Python engine.  A partition file is:
+module does the same for the Python engine.  Two formats share the
+``GRPL`` magic and the element wire encoding:
 
-    MAGIC "GRPL" | version u8
+**Version 1** (row-oriented, used for small delta chunks and as the
+cross-version compatibility format)::
+
+    MAGIC "GRPL" | version u8 = 1
     string table: varint count, then per string varint length + utf-8 bytes
     varint number of source vertices
     per source: varint src, varint n_targets
         per target: varint dst, varint label_id, varint n_encodings
             per encoding: varint n_elements, then elements
-    element: tag u8 (0 = interval, 1 = call, 2 = return)
-        interval: varint func_index, varint start, varint end
-        call/return: varint id
 
-All integers are unsigned LEB128 varints.
+**Version 2** (columnar, used for partition files)::
+
+    MAGIC "GRPL" | version u8 = 2
+    string table: as version 1
+    encoding table: varint count, then per encoding varint n_elements
+        + elements (hash-consed: each distinct encoding appears once)
+    varint n_rows
+    src column:   n_rows * 8 bytes, native-endian int64
+    dst column:   n_rows * 8 bytes
+    label column: n_rows * 8 bytes
+    enc column:   n_rows * 8 bytes (indices into the encoding table)
+
+The columnar body decodes with four ``array('q').frombytes`` calls plus
+one pass over the (small) encoding table, instead of one Python-level
+varint loop per edge -- that is what moves partition loads off the
+profile.  Columns are native-endian: partition files are per-run scratch
+data, never moved between machines.
+
+Either format may additionally be wrapped in a zlib frame::
+
+    MAGIC "GRPZ" | zlib-compressed GRPL payload
+
+element wire encoding: tag u8 (0 = interval, 1 = call, 2 = return,
+3 = string), then
+    interval: varint func_index, varint start, varint end
+    call/return: varint id
+    string: varint length + utf-8 bytes
+
+All integers are unsigned LEB128 varints.  Truncated or malformed input
+raises :class:`CorruptPartition` (a ``ValueError``) rather than leaking
+``IndexError`` from the byte cursor.
 """
 
 from __future__ import annotations
 
 import io
+import zlib
+from array import array
+from dataclasses import dataclass
 
 MAGIC = b"GRPL"
+ZMAGIC = b"GRPZ"
 VERSION = 1
+COLUMNAR_VERSION = 2
 
 _TAG_INTERVAL = 0
 _TAG_CALL = 1
 _TAG_RETURN = 2
 _TAG_STRING = 3  # string-constraint baseline payloads (Table 5)
+
+
+class CorruptPartition(ValueError):
+    """A partition/delta payload is truncated or structurally invalid."""
 
 
 def write_varint(out: io.BytesIO, value: int) -> None:
@@ -43,20 +83,139 @@ def write_varint(out: io.BytesIO, value: int) -> None:
             return
 
 
+def _append_varint(buf: bytearray, value: int) -> None:
+    """``write_varint`` for :class:`bytearray` output (no BytesIO)."""
+    if value < 0:
+        raise ValueError("varints are unsigned")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            buf.append(byte | 0x80)
+        else:
+            buf.append(byte)
+            return
+
+
 def read_varint(data: bytes, pos: int) -> tuple[int, int]:
     result = 0
     shift = 0
-    while True:
-        byte = data[pos]
-        pos += 1
-        result |= (byte & 0x7F) << shift
-        if not byte & 0x80:
-            return result, pos
-        shift += 7
+    try:
+        while True:
+            byte = data[pos]
+            pos += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result, pos
+            shift += 7
+    except IndexError:
+        raise CorruptPartition(
+            f"truncated varint at byte {pos} of {len(data)}"
+        ) from None
+
+
+def maybe_decompress(data: bytes) -> bytes:
+    """Unwrap a ``GRPZ`` zlib frame; plain payloads pass through."""
+    if data[:4] == ZMAGIC:
+        try:
+            return zlib.decompress(data[4:])
+        except zlib.error as exc:
+            raise CorruptPartition(f"bad zlib frame: {exc}") from None
+    return data
+
+
+def compress_payload(data: bytes, level: int = 1) -> bytes:
+    """Wrap an encoded partition payload in a ``GRPZ`` zlib frame."""
+    return ZMAGIC + zlib.compress(data, level)
+
+
+# -- shared element wire encoding ---------------------------------------------
+
+
+def _append_encoding(buf: bytearray, encoding: tuple, intern) -> None:
+    _append_varint(buf, len(encoding))
+    for elem in encoding:
+        kind = elem[0]
+        if kind == "I":
+            buf.append(_TAG_INTERVAL)
+            _append_varint(buf, intern(elem[1]))
+            _append_varint(buf, elem[2])
+            _append_varint(buf, elem[3])
+        elif kind == "C":
+            buf.append(_TAG_CALL)
+            _append_varint(buf, elem[1])
+        elif kind == "R":
+            buf.append(_TAG_RETURN)
+            _append_varint(buf, elem[1])
+        elif kind == "S":
+            raw = elem[1].encode("utf-8")
+            buf.append(_TAG_STRING)
+            _append_varint(buf, len(raw))
+            buf += raw
+        else:
+            raise ValueError(f"unknown encoding element {elem!r}")
+
+
+def _read_encoding(data: bytes, pos: int, strings: list[str]):
+    n_elements, pos = read_varint(data, pos)
+    elems = []
+    try:
+        for _ in range(n_elements):
+            tag = data[pos]
+            pos += 1
+            if tag == _TAG_INTERVAL:
+                func_index, pos = read_varint(data, pos)
+                start, pos = read_varint(data, pos)
+                end, pos = read_varint(data, pos)
+                elems.append(("I", strings[func_index], start, end))
+            elif tag == _TAG_CALL:
+                cid, pos = read_varint(data, pos)
+                elems.append(("C", cid))
+            elif tag == _TAG_RETURN:
+                rid, pos = read_varint(data, pos)
+                elems.append(("R", rid))
+            elif tag == _TAG_STRING:
+                length, pos = read_varint(data, pos)
+                end = pos + length
+                if end > len(data):
+                    raise CorruptPartition("truncated string element")
+                elems.append(("S", data[pos:end].decode("utf-8")))
+                pos = end
+            else:
+                raise CorruptPartition(f"unknown element tag {tag}")
+    except IndexError:
+        raise CorruptPartition(
+            f"truncated encoding element at byte {pos}"
+        ) from None
+    return tuple(elems), pos
+
+
+def _read_string_table(data: bytes, pos: int) -> tuple[list[str], int]:
+    n_strings, pos = read_varint(data, pos)
+    strings: list[str] = []
+    for _ in range(n_strings):
+        length, pos = read_varint(data, pos)
+        end = pos + length
+        if end > len(data):
+            raise CorruptPartition("truncated string table")
+        strings.append(data[pos:end].decode("utf-8"))
+        pos = end
+    return strings, pos
+
+
+def _append_string_table(buf: bytearray, strings: dict[str, int]) -> None:
+    _append_varint(buf, len(strings))
+    for name in strings:  # insertion order == index order
+        raw = name.encode("utf-8")
+        _append_varint(buf, len(raw))
+        buf += raw
+
+
+# -- version 1: row-oriented dicts --------------------------------------------
 
 
 def encode_partition(edges: dict) -> bytes:
-    """Serialise ``{src: {(dst, label_id): set[encoding]}}`` to bytes."""
+    """Serialise ``{src: {(dst, label_id): set[encoding]}}`` to v1 bytes."""
     strings: dict[str, int] = {}
 
     def intern(name: str) -> int:
@@ -66,68 +225,39 @@ def encode_partition(edges: dict) -> bytes:
             strings[name] = index
         return index
 
-    body = io.BytesIO()
-    write_varint(body, len(edges))
+    body = bytearray()
+    _append_varint(body, len(edges))
     for src in sorted(edges):
         targets = edges[src]
-        write_varint(body, src)
-        write_varint(body, len(targets))
+        _append_varint(body, src)
+        _append_varint(body, len(targets))
         for (dst, label_id) in sorted(targets):
             encodings = targets[(dst, label_id)]
-            write_varint(body, dst)
-            write_varint(body, label_id)
-            write_varint(body, len(encodings))
+            _append_varint(body, dst)
+            _append_varint(body, label_id)
+            _append_varint(body, len(encodings))
             for encoding in sorted(encodings):
-                _write_encoding(body, encoding, intern)
+                _append_encoding(body, encoding, intern)
 
-    out = io.BytesIO()
-    out.write(MAGIC)
-    out.write(bytes((VERSION,)))
-    write_varint(out, len(strings))
-    for name in strings:  # insertion order == index order
-        raw = name.encode("utf-8")
-        write_varint(out, len(raw))
-        out.write(raw)
-    out.write(body.getvalue())
-    return out.getvalue()
-
-
-def _write_encoding(out: io.BytesIO, encoding: tuple, intern) -> None:
-    write_varint(out, len(encoding))
-    for elem in encoding:
-        if elem[0] == "I":
-            out.write(bytes((_TAG_INTERVAL,)))
-            write_varint(out, intern(elem[1]))
-            write_varint(out, elem[2])
-            write_varint(out, elem[3])
-        elif elem[0] == "C":
-            out.write(bytes((_TAG_CALL,)))
-            write_varint(out, elem[1])
-        elif elem[0] == "R":
-            out.write(bytes((_TAG_RETURN,)))
-            write_varint(out, elem[1])
-        elif elem[0] == "S":
-            raw = elem[1].encode("utf-8")
-            out.write(bytes((_TAG_STRING,)))
-            write_varint(out, len(raw))
-            out.write(raw)
-        else:
-            raise ValueError(f"unknown encoding element {elem!r}")
+    out = bytearray()
+    out += MAGIC
+    out.append(VERSION)
+    _append_string_table(out, strings)
+    out += body
+    return bytes(out)
 
 
 def decode_partition(data: bytes) -> dict:
-    """Inverse of :func:`encode_partition`."""
+    """Decode either format back to ``{src: {(dst, label_id): set}}``."""
+    data = maybe_decompress(data)
     if data[:4] != MAGIC:
-        raise ValueError("bad partition file magic")
+        raise CorruptPartition("bad partition file magic")
+    if data[4] == COLUMNAR_VERSION:
+        return parse_columnar(data).to_dict()
     if data[4] != VERSION:
-        raise ValueError(f"unsupported partition version {data[4]}")
+        raise CorruptPartition(f"unsupported partition version {data[4]}")
     pos = 5
-    n_strings, pos = read_varint(data, pos)
-    strings: list[str] = []
-    for _ in range(n_strings):
-        length, pos = read_varint(data, pos)
-        strings.append(data[pos : pos + length].decode("utf-8"))
-        pos += length
+    strings, pos = _read_string_table(data, pos)
 
     edges: dict = {}
     n_sources, pos = read_varint(data, pos)
@@ -148,35 +278,139 @@ def decode_partition(data: bytes) -> dict:
     return edges
 
 
-def _read_encoding(data: bytes, pos: int, strings: list[str]):
-    n_elements, pos = read_varint(data, pos)
-    elems = []
-    for _ in range(n_elements):
-        tag = data[pos]
-        pos += 1
-        if tag == _TAG_INTERVAL:
-            func_index, pos = read_varint(data, pos)
-            start, pos = read_varint(data, pos)
-            end, pos = read_varint(data, pos)
-            elems.append(("I", strings[func_index], start, end))
-        elif tag == _TAG_CALL:
-            cid, pos = read_varint(data, pos)
-            elems.append(("C", cid))
-        elif tag == _TAG_RETURN:
-            rid, pos = read_varint(data, pos)
-            elems.append(("R", rid))
-        elif tag == _TAG_STRING:
-            length, pos = read_varint(data, pos)
-            elems.append(("S", data[pos : pos + length].decode("utf-8")))
-            pos += length
-        else:
-            raise ValueError(f"unknown element tag {tag}")
-    return tuple(elems), pos
+# -- version 2: columnar ------------------------------------------------------
+
+
+@dataclass
+class ColumnarFile:
+    """Parsed v2 payload: file-local encodings plus raw edge columns.
+
+    Parsing is pure (no shared interning state), so it is safe to run on
+    the prefetch thread; the consumer maps ``enc`` through its own
+    :class:`~repro.engine.columnar.EncodingTable` when it builds an
+    ``EdgeColumns`` from this.
+    """
+
+    encodings: list  # file-local id -> encoding tuple
+    src: array
+    dst: array
+    label: array
+    enc: array  # file-local encoding ids
+
+    def to_dict(self) -> dict:
+        edges: dict = {}
+        encodings = self.encodings
+        for src, dst, label_id, eid in zip(
+            self.src, self.dst, self.label, self.enc
+        ):
+            edges.setdefault(src, {}).setdefault(
+                (dst, label_id), set()
+            ).add(encodings[eid])
+        return edges
+
+
+def encode_columnar(
+    src: array, dst: array, label: array, enc_local: array,
+    encodings: list,
+) -> bytes:
+    """Serialise sorted edge columns + their encoding table to v2 bytes."""
+    strings: dict[str, int] = {}
+
+    def intern(name: str) -> int:
+        index = strings.get(name)
+        if index is None:
+            index = len(strings)
+            strings[name] = index
+        return index
+
+    body = bytearray()
+    _append_varint(body, len(encodings))
+    for encoding in encodings:
+        _append_encoding(body, encoding, intern)
+    _append_varint(body, len(src))
+    body += src.tobytes()
+    body += dst.tobytes()
+    body += label.tobytes()
+    body += enc_local.tobytes()
+
+    out = bytearray()
+    out += MAGIC
+    out.append(COLUMNAR_VERSION)
+    _append_string_table(out, strings)
+    out += body
+    return bytes(out)
+
+
+def parse_columnar(data: bytes) -> ColumnarFile:
+    """Parse either format into a :class:`ColumnarFile` (pure, bulk)."""
+    data = maybe_decompress(data)
+    if data[:4] != MAGIC:
+        raise CorruptPartition("bad partition file magic")
+    if data[4] == VERSION:
+        return _columnar_from_dict_payload(decode_partition(data))
+    if data[4] != COLUMNAR_VERSION:
+        raise CorruptPartition(f"unsupported partition version {data[4]}")
+    pos = 5
+    strings, pos = _read_string_table(data, pos)
+    n_encodings, pos = read_varint(data, pos)
+    encodings = []
+    for _ in range(n_encodings):
+        encoding, pos = _read_encoding(data, pos, strings)
+        encodings.append(encoding)
+    n_rows, pos = read_varint(data, pos)
+    width = n_rows * 8
+    if pos + 4 * width > len(data):
+        raise CorruptPartition(
+            f"truncated columns: want {4 * width} bytes at {pos},"
+            f" have {len(data) - pos}"
+        )
+    columns = []
+    for _ in range(4):
+        col = array("q")
+        col.frombytes(data[pos : pos + width])
+        columns.append(col)
+        pos += width
+    src, dst, label, enc = columns
+    for eid in enc:
+        if not 0 <= eid < n_encodings:
+            raise CorruptPartition(f"encoding id {eid} out of range")
+    return ColumnarFile(
+        encodings=encodings, src=src, dst=dst, label=label, enc=enc
+    )
+
+
+def _columnar_from_dict_payload(edges: dict) -> ColumnarFile:
+    """v1 compatibility: flatten a decoded dict into sorted columns."""
+    rows = sorted(
+        (src, dst, label_id, encoding)
+        for src, targets in edges.items()
+        for (dst, label_id), encodings in targets.items()
+        for encoding in encodings
+    )
+    encodings: list = []
+    local: dict = {}
+    src = array("q")
+    dst = array("q")
+    label = array("q")
+    enc = array("q")
+    for s, d, l, encoding in rows:
+        eid = local.get(encoding)
+        if eid is None:
+            eid = len(encodings)
+            local[encoding] = eid
+            encodings.append(encoding)
+        src.append(s)
+        dst.append(d)
+        label.append(l)
+        enc.append(eid)
+    return ColumnarFile(
+        encodings=encodings, src=src, dst=dst, label=label, enc=enc
+    )
 
 
 def estimate_edge_bytes(encoding: tuple) -> int:
     """Rough in-memory size of one edge with the given encoding, used for
-    the engine's memory-budget accounting."""
+    the engine's memory-budget accounting of dict-shaped edge chunks."""
     size = 48
     for elem in encoding:
         if elem[0] == "S":

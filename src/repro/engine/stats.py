@@ -46,6 +46,17 @@ class EngineStats:
     # counters; 0 for a serial run, not summed by merge()).
     waves: int = 0
     pairs_skipped: int = 0
+    # I/O pipeline: partition loads served from the background reader's
+    # parse vs. loads that fell back to a synchronous read, and delta
+    # frames written through the background spill writer.
+    prefetch_hits: int = 0
+    prefetch_misses: int = 0
+    spill_frames: int = 0
+    spill_bytes: int = 0
+    # Merge-join frontier drain: rounds processed and distinct join
+    # vertices probed against the right-hand sorted runs.
+    join_batches: int = 0
+    join_probes: int = 0
 
     @contextmanager
     def timing(self, component: str):
@@ -61,6 +72,13 @@ class EngineStats:
         if self.constraint_queries == 0:
             return 0.0
         return self.cache_hits / self.constraint_queries
+
+    @property
+    def prefetch_hit_rate(self) -> float:
+        total = self.prefetch_hits + self.prefetch_misses
+        if total == 0:
+            return 0.0
+        return self.prefetch_hits / total
 
     @property
     def total_time(self) -> float:
@@ -96,5 +114,11 @@ class EngineStats:
             "cache_hits",
             "infeasible_dropped",
             "encoding_overflow_dropped",
+            "prefetch_hits",
+            "prefetch_misses",
+            "spill_frames",
+            "spill_bytes",
+            "join_batches",
+            "join_probes",
         ):
             setattr(self, name, getattr(self, name) + getattr(other, name))

@@ -14,13 +14,14 @@ an error state is the witness the checker reports.
 from __future__ import annotations
 
 from repro.grammar.cfg_grammar import ComposeContext, Grammar
+from repro.graph.model import canonical_label
 
-CF = ("cf",)
+CF = canonical_label(("cf",))
 
 
 def state_label(fsm_name: str, state: str) -> tuple:
     """Label of a state fact: the object is in ``state`` of ``fsm_name``."""
-    return ("st", fsm_name, state)
+    return canonical_label(("st", fsm_name, state))
 
 
 class DataflowGrammar(Grammar):

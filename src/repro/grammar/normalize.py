@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.grammar.cfg_grammar import Grammar
+from repro.graph.model import canonical_label
 
 #: Placeholder for a field parameter inside a symbol.
 FIELD = "<f>"
@@ -118,8 +119,8 @@ class _CompiledGrammar(Grammar):
 def _instantiate(symbol: tuple, source: tuple) -> tuple:
     """Fill a FIELD placeholder from the source label's parameter."""
     if _parameterised(symbol):
-        return (symbol[0],) + tuple(source[1:])
-    return symbol
+        return canonical_label((symbol[0],) + tuple(source[1:]))
+    return canonical_label(symbol)
 
 
 def compile_grammar(

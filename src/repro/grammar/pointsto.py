@@ -19,18 +19,19 @@ o -> v derives the reversed edge v -> o.
 from __future__ import annotations
 
 from repro.grammar.cfg_grammar import Grammar
+from repro.graph.model import canonical_label
 
-NEW = ("new",)
-ASSIGN = ("assign",)
-FLOWS_TO = ("flowsTo",)
-FLOWS_TO_BAR = ("flowsToBar",)
-ALIAS = ("alias",)
-HEAP = ("heap",)
+NEW = canonical_label(("new",))
+ASSIGN = canonical_label(("assign",))
+FLOWS_TO = canonical_label(("flowsTo",))
+FLOWS_TO_BAR = canonical_label(("flowsToBar",))
+ALIAS = canonical_label(("alias",))
+HEAP = canonical_label(("heap",))
 
 
 def sa_label(fieldname: str) -> tuple:
     """Intermediate ``store[f] alias`` nonterminal, field-parameterised."""
-    return ("sa", fieldname)
+    return canonical_label(("sa", fieldname))
 
 
 class PointsToGrammar(Grammar):

@@ -24,6 +24,24 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+#: Process-wide catalog of label tuples (see :func:`canonical_label`).
+_CANONICAL_LABELS: dict = {}
+
+
+def canonical_label(label: tuple) -> tuple:
+    """The canonical instance of a structurally-equal label tuple.
+
+    Grammars build the same few label tuples over and over (every
+    ``("st", fsm, state)`` of every composition, every ``("sa", f)``);
+    hash-consing them means equal labels are the *same object*, so the
+    engine's per-composition label comparisons and dict probes hit
+    CPython's pointer-equality fast path instead of re-hashing tuple
+    contents, and repeated construction allocates nothing.
+    :meth:`LabelTable.intern` routes through this catalog, so a label id
+    always looks up to the canonical instance.
+    """
+    return _CANONICAL_LABELS.setdefault(label, label)
+
 
 class _InternTable:
     """Bidirectional interning of hashable keys to dense ints."""
@@ -65,7 +83,11 @@ class VertexTable(_InternTable):
 
 
 class LabelTable(_InternTable):
-    """Interns edge-label tuples."""
+    """Interns edge-label tuples (canonicalised, so ``lookup`` always
+    returns the one shared instance of each label)."""
+
+    def intern(self, key) -> int:
+        return super().intern(canonical_label(key))
 
 
 @dataclass

@@ -48,6 +48,11 @@ class SolverStats:
     theory_calls: int = 0
     fast_path: int = 0
     gave_up: int = 0
+    # Engine-side feasibility memo (keyed by hash-consed encoding id):
+    # queries answered without touching the tuple-keyed LRU or the solver,
+    # and queries that fell through to them.
+    memo_hits: int = 0
+    memo_misses: int = 0
 
     def merge(self, other: "SolverStats") -> None:
         self.checks += other.checks
@@ -56,6 +61,8 @@ class SolverStats:
         self.theory_calls += other.theory_calls
         self.fast_path += other.fast_path
         self.gave_up += other.gave_up
+        self.memo_hits += other.memo_hits
+        self.memo_misses += other.memo_misses
 
 
 @dataclass

@@ -1,8 +1,8 @@
-"""Unit tests for the LRU cache and engine statistics."""
+"""Unit tests for the LRU cache, feasibility memo and engine statistics."""
 
 import pytest
 
-from repro.engine.cache import LRUCache
+from repro.engine.cache import FeasibilityMemo, LRUCache
 from repro.engine.stats import EngineStats
 
 
@@ -58,6 +58,58 @@ def test_cache_clear():
     cache.clear()
     assert len(cache) == 0
     assert cache.hits == 0
+
+
+def test_feasibility_memo_stores_verdicts():
+    memo = FeasibilityMemo()
+    assert memo.get(7) is None
+    memo.put(7, False)  # UNSAT verdicts must be distinguishable from missing
+    assert memo.get(7) is False
+    memo.put(8, True)
+    assert memo.get(8) is True
+    assert len(memo) == 2
+
+
+def test_feasibility_memo_is_insertion_bounded():
+    memo = FeasibilityMemo(capacity=2)
+    memo.put(1, True)
+    memo.put(2, True)
+    memo.put(3, True)  # over capacity: dropped, earlier entries kept
+    assert memo.get(1) is True
+    assert memo.get(2) is True
+    assert memo.get(3) is None
+
+
+def test_engine_counts_feasibility_memo_hits():
+    """Repeated feasibility queries for the same encoding id must be
+    answered by the id-keyed memo (SolverStats.memo_hits), not the LRU."""
+    from repro.cfet import encoding as enc
+    from repro.cfet.icfet import build_icfet
+    from repro.engine.computation import EngineOptions, GraphEngine
+    from repro.grammar.cfg_grammar import Grammar
+    from repro.graph.model import ProgramGraph
+    from repro.lang.parser import parse_program
+
+    class ChainGrammar(Grammar):
+        table_driven = True
+
+        def compose(self, edge1, edge2, ctx):
+            if edge1[2] == ("a",) and edge2[2] == ("a",):
+                return (("a",),)
+            return ()
+
+    icfet = build_icfet(parse_program("func main(x) { return; }"))
+    graph = ProgramGraph()
+    for i in range(6):
+        graph.vertices.intern(("v", i))
+    for i in range(5):
+        graph.add_edge(i, i + 1, ("a",), enc.single("main", 0))
+    engine = GraphEngine(icfet, ChainGrammar(),
+                         EngineOptions(memory_budget=1 << 20))
+    engine.run(graph)
+    stats = engine.solver.stats
+    assert stats.memo_hits + stats.memo_misses > 0
+    assert stats.memo_hits > 0
 
 
 def test_stats_timing_accumulates():

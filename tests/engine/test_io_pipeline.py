@@ -1,0 +1,139 @@
+"""Tests for the background prefetch reader and spill writer."""
+
+import os
+
+import pytest
+
+from repro.engine import serialize
+from repro.engine.columnar import EdgeColumns, EncodingTable
+from repro.engine.io_pipeline import PrefetchReader, SpillWriter
+
+EDGES = {1: {(2, 0): {(("I", "f", 0, 3),)}}}
+DELTA = {5: {(6, 1): {(("I", "g", 0, 0),)}}}
+
+
+@pytest.fixture()
+def part_file(tmp_path):
+    path = str(tmp_path / "part.bin")
+    with open(path, "wb") as f:
+        f.write(EdgeColumns.from_dict(EDGES, EncodingTable()).encode())
+    return path
+
+
+def test_prefetch_hit(part_file, tmp_path):
+    reader = PrefetchReader()
+    try:
+        reader.schedule(0, 3, part_file, str(tmp_path / "none.delta"))
+        got = reader.take(0, 3)
+        assert got is not None
+        parsed, deltas = got
+        assert parsed.to_dict() == EDGES
+        assert deltas == []
+        # An entry can be claimed only once.
+        assert reader.take(0, 3) is None
+    finally:
+        reader.close()
+
+
+def test_prefetch_version_mismatch_is_miss(part_file, tmp_path):
+    reader = PrefetchReader()
+    try:
+        reader.schedule(0, 3, part_file, str(tmp_path / "none.delta"))
+        assert reader.take(0, 4) is None  # partition was written since
+    finally:
+        reader.close()
+
+
+def test_prefetch_reads_delta_frames_without_consuming(part_file, tmp_path):
+    delta_path = str(tmp_path / "part.delta")
+    payload = serialize.encode_partition(DELTA)
+    with open(delta_path, "wb") as f:
+        f.write(len(payload).to_bytes(4, "little"))
+        f.write(payload)
+    reader = PrefetchReader()
+    try:
+        reader.schedule(0, 1, part_file, delta_path)
+        parsed, deltas = reader.take(0, 1)
+        assert deltas == [DELTA]
+        assert os.path.exists(delta_path)  # consumer owns the file
+    finally:
+        reader.close()
+
+
+def test_prefetch_missing_file_is_miss(tmp_path):
+    reader = PrefetchReader()
+    try:
+        reader.schedule(0, 1, str(tmp_path / "absent.bin"),
+                        str(tmp_path / "absent.delta"))
+        assert reader.take(0, 1) is None
+    finally:
+        reader.close()
+
+
+def test_prefetch_invalidate(part_file, tmp_path):
+    reader = PrefetchReader()
+    try:
+        reader.schedule(0, 1, part_file, str(tmp_path / "none.delta"))
+        reader.invalidate(0)
+        assert reader.take(0, 1) is None
+    finally:
+        reader.close()
+
+
+@pytest.mark.parametrize("compress", [False, True])
+def test_spill_writer_roundtrip(tmp_path, compress):
+    path = str(tmp_path / "spill.delta")
+    writer = SpillWriter(compress=compress)
+    chunks = [
+        serialize.encode_partition({i: {(i + 1, 0): {(("C", i),)}}})
+        for i in range(5)
+    ]
+    for chunk in chunks:
+        writer.append(path, chunk)
+    writer.flush(path)
+    with open(path, "rb") as f:
+        data = f.read()
+    decoded = []
+    pos = 0
+    while pos < len(data):
+        length = int.from_bytes(data[pos:pos + 4], "little")
+        pos += 4
+        frame = data[pos:pos + length]
+        pos += length
+        if compress:
+            assert frame[:4] == serialize.ZMAGIC
+        decoded.append(serialize.decode_partition(frame))
+    assert decoded == [serialize.decode_partition(c) for c in chunks]
+    writer.close()
+    assert writer.frames_written == 5
+    assert writer.bytes_written == sum(
+        len(serialize.compress_payload(c)) if compress else len(c)
+        for c in chunks
+    )
+
+
+def test_spill_writer_pending_and_flush_all(tmp_path):
+    writer = SpillWriter()
+    a, b = str(tmp_path / "a.delta"), str(tmp_path / "b.delta")
+    writer.append(a, b"payload-a")
+    writer.append(b, b"payload-b")
+    writer.flush()
+    assert not writer.pending(a)
+    assert not writer.pending(b)
+    writer.close()
+
+
+def test_spill_writer_error_surfaces_at_flush(tmp_path):
+    writer = SpillWriter()
+    bad = str(tmp_path / "no-such-dir" / "x.delta")
+    writer.append(bad, b"payload")
+    with pytest.raises(OSError):
+        writer.flush(bad)
+    writer.close()
+
+
+def test_spill_writer_rejects_append_after_close(tmp_path):
+    writer = SpillWriter()
+    writer.close()
+    with pytest.raises(RuntimeError):
+        writer.append(str(tmp_path / "x.delta"), b"payload")

@@ -46,7 +46,7 @@ def test_load_returns_saved_edges(store):
     store.initialize(edges, num_vertices=100, min_partitions=1)
     loaded = {}
     for part in store.partitions:
-        loaded.update(store.load(part))
+        loaded.update(store.load(part).to_dict())
     assert loaded == edges
 
 
@@ -64,7 +64,7 @@ def test_append_delta_merged_on_load(tmp_path):
     version_before = target.version
     store.append_delta(target, delta)
     assert target.version > version_before
-    loaded = store.load(target)
+    loaded = store.load(target).to_dict()
     assert (42, 1) in loaded[0]
 
 
@@ -73,16 +73,16 @@ def test_append_delta_into_cached_partition(store):
     target = store.partitions[0]
     store.load(target)
     store.append_delta(target, {0: {(9, 9): {(("I", "g", 0, 0),)}}})
-    assert (9, 9) in store.load(target)[0]
+    assert (9, 9) in store.load(target).to_dict()[0]
 
 
 def test_flush_persists_dirty_partitions(tmp_path):
     store = PartitionStore(str(tmp_path), memory_budget=1 << 20)
     store.initialize(edges_for(range(4)), num_vertices=100, min_partitions=1)
     part = store.partitions[0]
-    edges = store.load(part)
-    edges[99] = {(1, 0): {(("I", "h", 0, 0),)}}
-    store.save(part, edges)
+    cols = store.load(part)
+    cols.merge_dict({99: {(1, 0): {(("I", "h", 0, 0),)}}})
+    store.save(part, cols)
     store.flush()
     # A brand-new store reading the same file must see the update.
     fresh = PartitionStore(str(tmp_path), memory_budget=1 << 20)
@@ -100,12 +100,14 @@ def test_split_balances_edges(tmp_path):
     store.initialize(edges, num_vertices=100, min_partitions=1)
     part = store.partitions[0]
     loaded = store.load(part)
-    left, left_edges, right, right_edges = store.split(part, dict(loaded))
+    left, left_cols, right, right_cols = store.split(part, loaded)
     assert right is not None
     assert left.hi == right.lo
-    assert set(left_edges) | set(right_edges) == set(range(40))
-    assert all(src < left.hi for src in left_edges)
-    assert all(src >= right.lo for src in right_edges)
+    left_srcs = set(left_cols.iter_sources())
+    right_srcs = set(right_cols.iter_sources())
+    assert left_srcs | right_srcs == set(range(40))
+    assert all(src < left.hi for src in left_srcs)
+    assert all(src >= right.lo for src in right_srcs)
     assert store.stats.repartitions == 1
 
 

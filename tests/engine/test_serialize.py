@@ -68,6 +68,73 @@ def test_bad_magic_rejected():
         serialize.decode_partition(b"XXXX\x01")
 
 
+def test_truncated_varint_raises_corrupt_partition():
+    import pytest
+
+    # A continuation bit with no following byte used to leak IndexError.
+    with pytest.raises(serialize.CorruptPartition):
+        serialize.read_varint(b"\x80", 0)
+    with pytest.raises(serialize.CorruptPartition):
+        serialize.read_varint(b"", 0)
+
+
+def test_truncated_payload_raises_corrupt_partition():
+    import pytest
+
+    edges = {1: {(2, 0): {(("I", "main", 0, 3), ("S", "payload")),}}}
+    data = serialize.encode_partition(edges)
+    # Every proper prefix (past the header check) must fail cleanly, never
+    # with a bare IndexError.
+    for cut in range(5, len(data)):
+        try:
+            decoded = serialize.decode_partition(data[:cut])
+        except serialize.CorruptPartition:
+            continue
+        # A prefix that happens to parse must at least be a valid dict.
+        assert isinstance(decoded, dict)
+
+
+def test_truncated_columnar_raises_corrupt_partition():
+    from array import array
+
+    import pytest
+
+    data = serialize.encode_columnar(
+        array("q", [1, 2]), array("q", [3, 4]), array("q", [0, 1]),
+        array("q", [0, 0]), [(("I", "f", 0, 1),)],
+    )
+    for cut in range(5, len(data)):
+        with pytest.raises(serialize.CorruptPartition):
+            serialize.parse_columnar(data[:cut])
+
+
+def test_columnar_rejects_out_of_range_encoding_id():
+    from array import array
+
+    import pytest
+
+    data = serialize.encode_columnar(
+        array("q", [1]), array("q", [2]), array("q", [0]),
+        array("q", [7]), [(("I", "f", 0, 1),)],
+    )
+    with pytest.raises(serialize.CorruptPartition):
+        serialize.parse_columnar(data)
+
+
+def test_compressed_roundtrip():
+    edges = {1: {(2, 0): {(("I", "main", 0, 3),)}}}
+    data = serialize.compress_payload(serialize.encode_partition(edges))
+    assert data[:4] == serialize.ZMAGIC
+    assert serialize.decode_partition(data) == edges
+
+
+def test_bad_zlib_frame_raises_corrupt_partition():
+    import pytest
+
+    with pytest.raises(serialize.CorruptPartition):
+        serialize.decode_partition(serialize.ZMAGIC + b"not zlib data")
+
+
 def test_estimate_accounts_for_strings():
     small = serialize.estimate_edge_bytes((("I", "f", 0, 1),))
     big = serialize.estimate_edge_bytes((("S", "x" * 1000),))
@@ -82,6 +149,7 @@ _elements = st.one_of(
     st.tuples(st.just("I"), _funcs, st.integers(0, 500), st.integers(0, 500)),
     st.tuples(st.just("C"), st.integers(0, 10_000)),
     st.tuples(st.just("R"), st.integers(0, 10_000)),
+    st.tuples(st.just("S"), st.text(max_size=40)),
 )
 
 _encodings = st.lists(_elements, min_size=1, max_size=6).map(tuple)
@@ -102,3 +170,30 @@ _partitions = st.dictionaries(
 @given(_partitions)
 def test_roundtrip_is_identity(edges):
     assert roundtrip(edges) == edges
+
+
+@settings(max_examples=80, deadline=None)
+@given(_partitions)
+def test_columnar_roundtrip_is_identity(edges):
+    from repro.engine.columnar import EdgeColumns, EncodingTable
+
+    cols = EdgeColumns.from_dict(edges, EncodingTable())
+    decoded = serialize.decode_partition(cols.encode())
+    assert decoded == edges
+
+
+@settings(max_examples=40, deadline=None)
+@given(_partitions)
+def test_v1_payload_parses_as_columnar(edges):
+    parsed = serialize.parse_columnar(serialize.encode_partition(edges))
+    assert parsed.to_dict() == edges
+
+
+@settings(max_examples=40, deadline=None)
+@given(_partitions)
+def test_compressed_columnar_roundtrip(edges):
+    from repro.engine.columnar import EdgeColumns, EncodingTable
+
+    cols = EdgeColumns.from_dict(edges, EncodingTable())
+    data = serialize.compress_payload(cols.encode())
+    assert serialize.decode_partition(data) == edges
