@@ -74,6 +74,10 @@ def _measure_in_this_process(scale: float, budget_mb: int) -> dict:
             entry[name] = getattr(stats, name)
     if hasattr(stats, "prefetch_hit_rate"):
         entry["prefetch_hit_rate"] = round(stats.prefetch_hit_rate, 4)
+    # Full structured export (counters/gauges/time split) -- metrics
+    # histograms stay off above so the timed closure is the undisturbed
+    # engine; the report simply reads the stats the run kept anyway.
+    entry["report"] = run.run_report(subject=SUBJECT)
     return entry
 
 
@@ -154,6 +158,11 @@ def smoke() -> dict:
     """Tiny-scale end-to-end exercise for CI: no timings recorded."""
     entry = _measure_in_subprocess(TINY_SCALE, TINY_BUDGET_MB)
     assert entry["warnings"] > 0, "tiny run produced no findings"
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+    from repro.obs.report import validate_run_report
+
+    errors = validate_run_report(entry["report"])
+    assert not errors, f"embedded run report failed validation: {errors}"
     return entry
 
 

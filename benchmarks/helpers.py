@@ -68,6 +68,13 @@ def classification(name: str):
     return classify_report(subj.seeds, run.report)
 
 
+def run_report(run, subject_name: str | None = None) -> dict:
+    """The ``grapple/run-report`` JSON document for a memoised run --
+    every bench gets the full counter/gauge/histogram breakdown from the
+    same structured export the CLI's ``--metrics-json`` writes."""
+    return run.run_report(subject=subject_name)
+
+
 def format_duration(seconds: float) -> str:
     if seconds >= 3600:
         return f"{int(seconds // 3600)}h{int(seconds % 3600 // 60):02d}m"
@@ -76,8 +83,13 @@ def format_duration(seconds: float) -> str:
     return f"{seconds:.1f}s"
 
 
-def emit(title: str, lines: list[str], capsys=None) -> None:
-    """Print a result table to the real terminal and persist it."""
+def emit(title: str, lines: list[str], capsys=None, payload=None) -> None:
+    """Print a result table to the real terminal and persist it.
+
+    When ``payload`` is given (any JSON-serialisable object, e.g. a
+    run-report document), it is written alongside the text table as
+    ``results/<slug>.json``.
+    """
     text = "\n".join([f"\n=== {title} ==="] + lines + [""])
     if capsys is not None:
         with capsys.disabled():
@@ -92,3 +104,9 @@ def emit(title: str, lines: list[str], capsys=None) -> None:
         slug = slug.replace("__", "_")
     with open(os.path.join(RESULTS_DIR, slug + ".txt"), "w") as f:
         f.write(text + "\n")
+    if payload is not None:
+        import json
+
+        with open(os.path.join(RESULTS_DIR, slug + ".json"), "w") as f:
+            json.dump(payload, f, indent=2)
+            f.write("\n")

@@ -68,6 +68,12 @@ class GrappleRun:
         )
         return merged
 
+    def run_report(self, subject: str | None = None) -> dict:
+        """The ``grapple/run-report`` JSON document for this run."""
+        from repro.obs.report import build_run_report
+
+        return build_run_report(self, subject=subject)
+
 
 class Grapple:
     """Facade: check finite-state properties of one subject program."""

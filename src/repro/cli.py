@@ -43,11 +43,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument("--unroll", type=int, default=2,
                        help="loop unroll bound (default 2)")
-    check.add_argument("--memory-budget", type=int, default=64,
-                       help="engine memory budget in MiB (default 64)")
+    check.add_argument("--memory-budget", type=float, default=64,
+                       help="engine memory budget in MiB; fractions allowed"
+                       " (default 64)")
     check.add_argument("--workers", type=int, default=1,
                        help="parallel partition-pair workers (default 1,"
                        " i.e. the serial engine)")
+    check.add_argument("--dispatch", default="fork",
+                       choices=("fork", "auto", "inline"),
+                       help="how --workers > 1 runs pairs: 'fork' always"
+                       " forks worker processes, 'auto' falls back to"
+                       " in-process dispatch on single-CPU machines,"
+                       " 'inline' never forks (default fork)")
     check.add_argument("--no-cache", action="store_true",
                        help="disable constraint memoisation")
     check.add_argument("--compress-spills", action="store_true",
@@ -58,6 +65,18 @@ def build_parser() -> argparse.ArgumentParser:
                        " (loads become synchronous reads)")
     check.add_argument("--stats", action="store_true",
                        help="print engine statistics")
+    check.add_argument("--trace", metavar="FILE", default=None,
+                       help="record a Chrome trace_event JSON of the run"
+                       " (open in chrome://tracing or ui.perfetto.dev;"
+                       " a .jsonl suffix selects the compact JSONL form)")
+    check.add_argument("--metrics-json", metavar="FILE", default=None,
+                       help="write the grapple/run-report JSON (counters,"
+                       " gauges, latency/size histograms, time breakdown)")
+    check.add_argument("--heartbeat", type=float, metavar="SECONDS",
+                       default=None,
+                       help="print a progress line to stderr every N"
+                       " seconds (pairs done/eligible, edges, budget"
+                       " occupancy)")
 
     sub.add_parser("subjects", help="list built-in synthetic subjects")
 
@@ -81,17 +100,40 @@ def cmd_check(args) -> int:
         checkers = [
             Checker.by_name(n.strip()) for n in args.checkers.split(",")
         ]
+    recorder = None
+    if args.trace:
+        from repro.obs.trace import TraceRecorder
+
+        recorder = TraceRecorder()
     options = GrappleOptions(
         unroll=args.unroll,
         engine=EngineOptions(
-            memory_budget=args.memory_budget << 20,
+            memory_budget=int(args.memory_budget * (1 << 20)),
             enable_cache=not args.no_cache,
             workers=args.workers,
+            parallel_dispatch=args.dispatch,
             compress_spills=args.compress_spills,
             prefetch=not args.no_prefetch,
+            trace=recorder,
+            metrics=bool(args.metrics_json),
+            heartbeat=args.heartbeat,
         ),
     )
     run = Grapple(source, [c.fsm for c in checkers], options).run()
+    if recorder is not None:
+        recorder.export(args.trace)
+        print(
+            f"trace: {len(recorder.events)} events from"
+            f" {len(recorder.pids())} process(es) -> {args.trace}",
+            file=sys.stderr,
+        )
+    if args.metrics_json:
+        import json
+
+        with open(args.metrics_json, "w") as f:
+            json.dump(run.run_report(subject=args.file), f, indent=2)
+            f.write("\n")
+        print(f"run report -> {args.metrics_json}", file=sys.stderr)
     print(run.report.summary())
     if args.stats:
         stats = run.stats

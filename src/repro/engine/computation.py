@@ -39,6 +39,7 @@ from repro.engine.io_pipeline import PrefetchReader, SpillWriter
 from repro.engine.partition import Partition, PartitionStore
 from repro.engine.scheduling import PairScheduler
 from repro.engine.stats import EngineStats
+from repro.obs.trace import NULL_RECORDER
 from repro.grammar.cfg_grammar import ComposeContext, Grammar
 from repro.graph.model import ProgramGraph
 from repro.smt import Result, Solver
@@ -96,6 +97,14 @@ class EngineOptions:
     # frames on the writer thread.
     prefetch: bool = True
     compress_spills: bool = False
+    # Observability (repro.obs) -- all three default off and cost nothing
+    # when disabled.  ``trace`` is a TraceRecorder (forked workers inherit
+    # it through _FORK_STATE and ship their spans back in WaveResults);
+    # ``metrics`` attaches the standard histogram registry to the stats;
+    # ``heartbeat`` prints a progress line on stderr every N seconds.
+    trace: object = None
+    metrics: bool = False
+    heartbeat: float | None = None
 
 
 @dataclass
@@ -161,6 +170,13 @@ class GraphEngine:
         self.options = options or EngineOptions()
         self.solver = solver or Solver()
         self.stats = EngineStats()
+        self.trace = (
+            self.options.trace if self.options.trace is not None
+            else NULL_RECORDER
+        )
+        if self.options.metrics:
+            self.stats.ensure_metrics()
+        self._heartbeat = None
         self.cache = LRUCache(self.options.cache_capacity)
         # All id-keyed memo tables below are process-local, like the
         # EncodingTable that defines the ids.
@@ -217,8 +233,17 @@ class GraphEngine:
             if floor is None:
                 floor = 2 * effective_workers(self.options)
             min_partitions = max(min_partitions, floor)
-        prefetch = PrefetchReader() if self.options.prefetch else None
-        spill_writer = SpillWriter(compress=self.options.compress_spills)
+        trace = self.trace
+        if self.options.heartbeat:
+            from repro.obs.report import Heartbeat
+
+            self._heartbeat = Heartbeat(self.options.heartbeat)
+        prefetch = (
+            PrefetchReader(trace=trace) if self.options.prefetch else None
+        )
+        spill_writer = SpillWriter(
+            compress=self.options.compress_spills, trace=trace
+        )
         with stats.timing("preprocess_time"):
             self._seed_derived(graph)
             if self.options.constraint_mode == "string":
@@ -228,7 +253,7 @@ class GraphEngine:
             store = PartitionStore(
                 workdir, self.options.memory_budget, stats,
                 table=self._enc, prefetch=prefetch,
-                spill_writer=spill_writer,
+                spill_writer=spill_writer, trace=trace,
             )
             store.initialize(graph.edges, len(graph.vertices), min_partitions)
         self._graph = graph
@@ -238,12 +263,16 @@ class GraphEngine:
         )
 
         try:
-            if parallel:
-                from repro.engine.parallel import ParallelCoordinator
+            with trace.span(
+                "closure", workers=self.options.workers,
+                partitions=len(store.partitions),
+            ):
+                if parallel:
+                    from repro.engine.parallel import ParallelCoordinator
 
-                ParallelCoordinator(self).run()
-            else:
-                self._serial_loop()
+                    ParallelCoordinator(self).run()
+                else:
+                    self._serial_loop()
         finally:
             # Post-run edge iteration must not count prefetch misses or
             # race the writer thread: tear the pipeline down here.
@@ -261,6 +290,8 @@ class GraphEngine:
     def _serial_loop(self) -> None:
         stats = self.stats
         store = self._store
+        trace = self.trace
+        heartbeat = self._heartbeat
         scheduler = PairScheduler(store)
         while True:
             pair = scheduler.next_pair()
@@ -285,10 +316,19 @@ class GraphEngine:
                 for upcoming in scheduler.peek_pairs(2):
                     for index in set(upcoming) - busy:
                         store.prefetch_schedule(store.partitions[index])
-            self._process_pair(*pair)
+            if trace.enabled:
+                with trace.span(
+                    "iteration", iteration=stats.pairs_processed + 1,
+                    pair=f"{pair[0]},{pair[1]}",
+                ):
+                    self._process_pair(*pair)
+            else:
+                self._process_pair(*pair)
             scheduler.mark_processed(pair, captured)
             stats.pairs_processed += 1
             stats.iterations = stats.pairs_processed
+            if heartbeat is not None:
+                heartbeat.maybe_beat(stats, store, scheduler)
 
     def _seed_derived(self, graph: ProgramGraph) -> None:
         """Apply grammar derivations to the initial edges (e.g. flowsTo
@@ -371,6 +411,38 @@ class GraphEngine:
     # -- pair processing ---------------------------------------------------------
 
     def _process_pair(self, i: int, j: int) -> None:
+        """Run one pair's drain, attributing its self-time to compute.
+
+        The reentrant ``timing`` span means the I/O, encoding, and SMT
+        time accrued *inside* the body lands in its own components and is
+        subtracted from ``compute_time`` automatically -- this replaced a
+        hand-maintained "already accounted" delta.  With observability on,
+        the wrapper also emits a ``pair-compute`` trace span and feeds the
+        pair latency / edge-yield histograms.
+        """
+        stats = self.stats
+        trace = self.trace
+        metrics = stats.metrics
+        if not trace.enabled and metrics is None:
+            with stats.timing("compute_time"):
+                self._pair_body(i, j)
+            return
+        edges_before = stats.new_edges
+        start = time.perf_counter()
+        with stats.timing("compute_time"):
+            self._pair_body(i, j)
+        elapsed = time.perf_counter() - start
+        yielded = stats.new_edges - edges_before
+        if trace.enabled:
+            trace.end(
+                "pair-compute", start, cat="pair",
+                pair=f"{i},{j}", new_edges=yielded,
+            )
+        if metrics is not None:
+            metrics.observe("pair_compute_s", elapsed)
+            metrics.observe("pair_new_edges", yielded)
+
+    def _pair_body(self, i: int, j: int) -> None:
         """Merge-join frontier drain over one partition pair.
 
         Each round takes the whole pending frontier, sorts it by the join
@@ -400,10 +472,6 @@ class GraphEngine:
         frontier: list = []
         self._seed_pair((i, j), loaded, parts, spills, dirty, frontier)
 
-        compute_start = time.perf_counter()
-        accounted = (
-            self.stats.io_time + self.stats.encode_time + self.stats.smt_time
-        )
         stats = self.stats
         rel_tgt = self._rel_tgt_id
         while frontier:
@@ -434,11 +502,6 @@ class GraphEngine:
 
         self._flush_spills(spills)
         self._finalize_pair(loaded, parts, dirty)
-        elapsed = time.perf_counter() - compute_start
-        newly_accounted = (
-            self.stats.io_time + self.stats.encode_time + self.stats.smt_time
-        ) - accounted
-        self.stats.compute_time += max(0.0, elapsed - newly_accounted)
 
     def _seed_pair(self, pair, loaded, parts, spills, dirty, frontier) -> None:
         """Build the initial frontier for one pair processing.
@@ -731,9 +794,23 @@ class GraphEngine:
                     ):
                         self._decode_cache[eid] = constraint
                 constraints.append(constraint)
+        trace = self.trace
+        metrics = stats.metrics
         with stats.timing("smt_time"):
             stats.constraints_solved += 1
+            solve_start = (
+                time.perf_counter()
+                if (trace.enabled or metrics is not None)
+                else 0.0
+            )
             result = self.solver.check(E.and_(*constraints)) is Result.SAT
+            if solve_start:
+                if trace.enabled:
+                    trace.end("smt-solve", solve_start, cat="smt", sat=result)
+                if metrics is not None:
+                    metrics.observe(
+                        "solve_latency_s", time.perf_counter() - solve_start
+                    )
         stats.feasibility_time += time.perf_counter() - start
         if self.options.enable_cache:
             self.cache.put(lru_key, result)

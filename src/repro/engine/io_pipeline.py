@@ -27,12 +27,14 @@ import queue
 import threading
 
 from repro.engine import serialize
+from repro.obs.trace import NULL_RECORDER
 
 
 class PrefetchReader:
     """Reads and parses upcoming partitions on a background thread."""
 
-    def __init__(self) -> None:
+    def __init__(self, trace=None) -> None:
+        self.trace = trace if trace is not None else NULL_RECORDER
         self._tasks: queue.Queue = queue.Queue()
         self._results: dict[int, dict] = {}
         self._lock = threading.Lock()
@@ -72,11 +74,14 @@ class PrefetchReader:
         self._tasks.put((index, version, path, delta_path, entry))
 
     def _run(self) -> None:
+        trace = self.trace
+        trace.note_thread("prefetch-reader")
         while True:
             task = self._tasks.get()
             if task is None:
                 return
             index, version, path, delta_path, entry = task
+            span_start = trace.begin() if trace.enabled else 0.0
             try:
                 with open(path, "rb") as f:
                     parsed = serialize.parse_columnar(f.read())
@@ -104,6 +109,12 @@ class PrefetchReader:
                 entry["deltas"] = None
             finally:
                 entry["ready"].set()
+                if span_start:
+                    trace.end(
+                        "prefetch", span_start, cat="io",
+                        partition=index, version=version,
+                        hit=entry["parsed"] is not None,
+                    )
 
     # -- consumer side --------------------------------------------------------
 
@@ -147,8 +158,9 @@ class SpillWriter:
     Exceptions raised on the writer thread surface at the next flush.
     """
 
-    def __init__(self, compress: bool = False) -> None:
+    def __init__(self, compress: bool = False, trace=None) -> None:
         self.compress = compress
+        self.trace = trace if trace is not None else NULL_RECORDER
         # Mutated only by the writer thread; fold into EngineStats after
         # close() so no counter is written from two threads.
         self.frames_written = 0
@@ -181,11 +193,14 @@ class SpillWriter:
         self._tasks.put((path, payload))
 
     def _run(self) -> None:
+        trace = self.trace
+        trace.note_thread("spill-writer")
         while True:
             task = self._tasks.get()
             if task is None:
                 return
             path, payload = task
+            span_start = trace.begin() if trace.enabled else 0.0
             try:
                 if self.compress:
                     payload = serialize.compress_payload(payload)
@@ -194,6 +209,10 @@ class SpillWriter:
                     f.write(payload)
                 self.frames_written += 1
                 self.bytes_written += len(payload)
+                if span_start:
+                    trace.end(
+                        "spill", span_start, cat="io", bytes=len(payload)
+                    )
             except BaseException as exc:  # surfaced at next flush/append
                 with self._lock:
                     self._error = exc

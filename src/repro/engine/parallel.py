@@ -129,6 +129,10 @@ class WaveResult:
     #: True when the task ran inline: its edges and version bumps are
     #: already in the real store and must not be merged a second time.
     applied: bool = False
+    #: Spans shipped from an out-of-process worker's trace recorder
+    #: (:meth:`repro.obs.trace.TraceRecorder.ship` payload); None when
+    #: tracing is off or the task ran inline against the shared recorder.
+    trace: dict | None = None
 
 
 # -- worker side ---------------------------------------------------------------
@@ -261,6 +265,17 @@ class _WorkerEngine(GraphEngine):
             self._enc = store.table
         else:
             self._store = _WorkerStore(self.stats, self._enc)
+        # Out-of-process workers record into their own recorder (the
+        # coordinator's, inherited through fork, would be invisible to
+        # the parent) and ship drained spans back in each WaveResult;
+        # the inline engine shares the coordinator's recorder directly
+        # and must not ship (ship() drains).
+        self._ships_trace = False
+        if store is None and self.trace.enabled:
+            from repro.obs.trace import TraceRecorder
+
+            self.trace = TraceRecorder(role="worker")
+            self._ships_trace = True
         from repro.grammar.cfg_grammar import ComposeContext
 
         self._ctx = ComposeContext(
@@ -269,7 +284,7 @@ class _WorkerEngine(GraphEngine):
         self._deadline = None
         self._task_deltas: dict = {}
 
-    def _process_pair(self, i: int, j: int) -> None:
+    def _pair_body(self, i: int, j: int) -> None:
         """Semi-naive worklist over one pair.
 
         Unlike the serial drain -- which composes new edges only as
@@ -340,10 +355,6 @@ class _WorkerEngine(GraphEngine):
                 if rel_tgt(edge[2]):
                     rhs.append(edge)
 
-        compute_start = time.perf_counter()
-        accounted = (
-            self.stats.io_time + self.stats.encode_time + self.stats.smt_time
-        )
         stats = self.stats
         while frontier or rhs:
             while frontier:
@@ -392,14 +403,11 @@ class _WorkerEngine(GraphEngine):
 
         self._flush_spills(spills)
         self._finalize_pair(loaded, parts, dirty)
-        elapsed = time.perf_counter() - compute_start
-        newly_accounted = (
-            self.stats.io_time + self.stats.encode_time + self.stats.smt_time
-        ) - accounted
-        self.stats.compute_time += max(0.0, elapsed - newly_accounted)
 
     def run_task(self, task: WaveTask) -> WaveResult:
         self.stats = EngineStats()
+        if self.options.metrics:
+            self.stats.ensure_metrics()
         store = self._store
         store.stats = self.stats
         store.set_snapshot(task.parts)
@@ -441,6 +449,7 @@ class _WorkerEngine(GraphEngine):
             spills=store.spill_chunks,
             stats=self.stats,
             cache_entries=self.cache.drain_added(CACHE_LOG_CAP),
+            trace=self.trace.ship() if self._ships_trace else None,
         )
 
 
@@ -618,6 +627,8 @@ class ParallelCoordinator:
         stats = self.stats
         store = self.store
         engine = self.engine
+        trace = engine.trace
+        heartbeat = engine._heartbeat
         scheduler = PairScheduler(store)
         # Per-partition delta logs: every edge added since initialisation,
         # in arrival order (tuple-encoded -- they cross into workers).
@@ -671,6 +682,10 @@ class ParallelCoordinator:
             if not wave:
                 continue
             stats.waves += 1
+            # One timestamp anchors two nested spans: "wave" covers
+            # dispatch + result collection, "iteration" the whole cycle
+            # including merges and between-wave splits.
+            wave_start = trace.begin() if trace.enabled else 0.0
             # The first pair of every wave runs in-process (against the
             # write-back cache, no IPC) while the pool -- when there is
             # one -- chews the rest.
@@ -722,9 +737,15 @@ class ParallelCoordinator:
                 results.extend(pending.get())
             else:
                 results = [self._run_inline(task) for task in tasks]
+            if trace.enabled:
+                trace.end(
+                    "wave", wave_start, cat="wave",
+                    wave=stats.waves, width=len(wave),
+                )
 
             touched = set()
             for result in results:
+                trace.absorb(result.trace)
                 stats.merge(result.stats)
                 stats.pairs_processed += 1
                 stats.iterations = stats.pairs_processed
@@ -802,6 +823,13 @@ class ParallelCoordinator:
                 if predicted:
                     for index in set(predicted[0]):
                         store.prefetch_schedule(store.partitions[index])
+            if trace.enabled:
+                trace.end(
+                    "iteration", wave_start,
+                    iteration=stats.waves, pairs=len(wave),
+                )
+            if heartbeat is not None:
+                heartbeat.maybe_beat(stats, store, scheduler)
 
     def _split_oversized(self, touched, logs: dict, epochs: dict) -> None:
         """Serial between-wave repartitioning; a split moves edges between

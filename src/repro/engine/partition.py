@@ -26,9 +26,12 @@ import os
 from bisect import bisect_right
 from dataclasses import dataclass, field
 
+import time
+
 from repro.engine import serialize
 from repro.engine.columnar import ROW_BYTES, EdgeColumns, EncodingTable
 from repro.engine.stats import EngineStats
+from repro.obs.trace import NULL_RECORDER
 
 
 @dataclass
@@ -54,10 +57,11 @@ class PartitionStore:
     def __init__(self, workdir: str, memory_budget: int,
                  stats: EngineStats | None = None, cache_slots: int = 4,
                  table: EncodingTable | None = None,
-                 prefetch=None, spill_writer=None):
+                 prefetch=None, spill_writer=None, trace=None):
         self.workdir = workdir
         self.memory_budget = memory_budget
         self.stats = stats or EngineStats()
+        self.trace = trace if trace is not None else NULL_RECORDER
         self.table = table if table is not None else EncodingTable()
         # Optional I/O pipeline (engine/io_pipeline.py): a PrefetchReader
         # whose thread parses upcoming partitions, and a SpillWriter that
@@ -138,7 +142,13 @@ class PartitionStore:
         parsed = None
         deltas = None
         if self.prefetch is not None:
+            metrics = self.stats.metrics
+            wait_start = time.perf_counter() if metrics is not None else 0.0
             got = self.prefetch.take(part.index, part.version)
+            if metrics is not None:
+                metrics.observe(
+                    "prefetch_wait_s", time.perf_counter() - wait_start
+                )
             if got is None:
                 self.stats.prefetch_misses += 1
             else:
@@ -296,6 +306,18 @@ class PartitionStore:
         Returns ``(left_part, left_cols, right_part, right_cols)``; the
         original descriptor is reused for the left half.
         """
+        trace = self.trace
+        if not trace.enabled:
+            return self._split(part, cols)
+        start = trace.begin()
+        result = self._split(part, cols)
+        trace.end(
+            "repartition", start, cat="store",
+            partition=part.index, split=result[2] is not None,
+        )
+        return result
+
+    def _split(self, part: Partition, cols: EdgeColumns) -> tuple:
         if part.hi - part.lo < 2:
             return part, cols, None, None  # cannot split a single vertex
         weights = cols.src_weights()
@@ -372,6 +394,16 @@ class PartitionStore:
 
     def total_edges(self) -> int:
         return sum(p.edge_count for p in self.partitions)
+
+    def cache_occupancy(self) -> float:
+        """Resident cached partition bytes as a fraction of the budget
+        (the heartbeat's "budget occupancy")."""
+        if not self.memory_budget:
+            return 0.0
+        resident = sum(
+            self.partitions[index].byte_estimate for index in self._cache
+        )
+        return resident / self.memory_budget
 
     def iter_all_edges(self):
         """Stream every edge from disk: ``(src, dst, label_id, encoding)``."""

@@ -97,6 +97,13 @@ class PairScheduler:
             self._in_heap.discard(pair)
         return None
 
+    def eligible_count(self) -> int:
+        """How many queued pairs are currently eligible (the heartbeat's
+        "eligible" figure; an O(heap) sweep, called at most once per
+        heartbeat interval)."""
+        self._refresh()
+        return sum(1 for pair in self._in_heap if self._eligible(pair))
+
     def peek_pairs(self, count: int = 1) -> list:
         """The next up-to-``count`` eligible pairs in serial order,
         without popping anything -- the I/O pipeline uses this lookahead

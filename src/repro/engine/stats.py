@@ -4,68 +4,175 @@ The paper's Figure 9 breaks an execution into four components -- I/O,
 constraint encoding/decoding (lookup), SMT solving, and in-memory edge-pair
 computation -- summed across all processing threads.  :class:`EngineStats`
 collects exactly those, plus the counters behind Tables 3-5.
+
+Every field carries metadata describing how it aggregates:
+
+* ``kind``: ``counter`` (sums), ``gauge`` (point-in-time, last-set-wins),
+  ``flag`` (ORs), or ``registry`` (a nested
+  :class:`~repro.obs.metrics.MetricsRegistry` of histograms).
+* ``scope``: ``worker`` fields are summed by :meth:`EngineStats.merge`
+  when a worker's delta folds into the coordinator; ``coordinator``
+  fields belong to the coordinating process only and are left alone.
+
+:meth:`merge` is derived from this metadata rather than a hand-written
+field list, so a newly added counter aggregates correctly by default --
+a field with no explicit metadata is treated as a summed worker counter,
+the fail-safe direction (the old hand-maintained tuple silently dropped
+``preprocess_time``).
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+
+
+def stat_field(default=0, kind: str = "counter", scope: str = "worker"):
+    """Dataclass field with aggregation metadata (see module docstring)."""
+    return field(default=default, metadata={"kind": kind, "scope": scope})
 
 
 @dataclass
 class EngineStats:
-    io_time: float = 0.0
-    encode_time: float = 0.0
-    smt_time: float = 0.0
-    compute_time: float = 0.0
-    preprocess_time: float = 0.0
+    io_time: float = stat_field(0.0)
+    encode_time: float = stat_field(0.0)
+    smt_time: float = stat_field(0.0)
+    compute_time: float = stat_field(0.0)
+    preprocess_time: float = stat_field(0.0)
     # Total time inside feasibility queries (decode + solve); this is the
     # quantity Table 4 compares with and without memoisation.  It overlaps
     # encode_time/smt_time and is excluded from the Figure 9 breakdown.
-    feasibility_time: float = 0.0
+    feasibility_time: float = stat_field(0.0)
 
-    iterations: int = 0
-    pairs_processed: int = 0
-    edges_before: int = 0
-    edges_after: int = 0
-    vertices: int = 0
-    new_edges: int = 0
-    compositions_tried: int = 0
-    constraints_solved: int = 0  # actual solver invocations (cache misses)
-    constraint_queries: int = 0  # all feasibility queries
-    cache_hits: int = 0
-    infeasible_dropped: int = 0
-    encoding_overflow_dropped: int = 0
-    repartitions: int = 0
-    final_partitions: int = 0
-    timed_out: bool = False
+    iterations: int = stat_field(scope="coordinator")
+    pairs_processed: int = stat_field()
+    edges_before: int = stat_field(kind="gauge", scope="coordinator")
+    edges_after: int = stat_field(kind="gauge", scope="coordinator")
+    vertices: int = stat_field(kind="gauge", scope="coordinator")
+    new_edges: int = stat_field()
+    compositions_tried: int = stat_field()
+    constraints_solved: int = stat_field()  # solver invocations (cache misses)
+    constraint_queries: int = stat_field()  # all feasibility queries
+    cache_hits: int = stat_field()
+    infeasible_dropped: int = stat_field()
+    encoding_overflow_dropped: int = stat_field()
+    repartitions: int = stat_field(scope="coordinator")
+    final_partitions: int = stat_field(kind="gauge", scope="coordinator")
+    timed_out: bool = stat_field(False, kind="flag")
     # Parallel engine: number of dispatched waves of disjoint pairs, and
     # number of eligible pairs retired without processing because the
     # coordinator's join index proved them empty (coordinator-side
     # counters; 0 for a serial run, not summed by merge()).
-    waves: int = 0
-    pairs_skipped: int = 0
+    waves: int = stat_field(scope="coordinator")
+    pairs_skipped: int = stat_field(scope="coordinator")
     # I/O pipeline: partition loads served from the background reader's
     # parse vs. loads that fell back to a synchronous read, and delta
     # frames written through the background spill writer.
-    prefetch_hits: int = 0
-    prefetch_misses: int = 0
-    spill_frames: int = 0
-    spill_bytes: int = 0
+    prefetch_hits: int = stat_field()
+    prefetch_misses: int = stat_field()
+    spill_frames: int = stat_field()
+    spill_bytes: int = stat_field()
     # Merge-join frontier drain: rounds processed and distinct join
     # vertices probed against the right-hand sorted runs.
-    join_batches: int = 0
-    join_probes: int = 0
+    join_batches: int = stat_field()
+    join_probes: int = stat_field()
+    # Optional histogram registry (solve latency, per-pair compute time and
+    # edge yield, prefetch waits).  None unless metrics collection is on --
+    # hot paths guard on ``is not None`` so a disabled run pays nothing.
+    metrics: object = stat_field(None, kind="registry")
+
+    def __post_init__(self) -> None:
+        # Self-time stack for reentrant timing(); not a dataclass field so
+        # keyword construction and equality keep their historical shape.
+        self._tstack: list[float] = []
+
+    # -- field classification --------------------------------------------------
+
+    @classmethod
+    def _meta(cls, f) -> tuple[str, str]:
+        return (
+            f.metadata.get("kind", "counter"),
+            f.metadata.get("scope", "worker"),
+        )
+
+    @classmethod
+    def summed_fields(cls) -> tuple[str, ...]:
+        """Worker-scope counters: summed across processes by merge()."""
+        return tuple(
+            f.name
+            for f in fields(cls)
+            if cls._meta(f) == ("counter", "worker")
+        )
+
+    @classmethod
+    def coordinator_fields(cls) -> tuple[str, ...]:
+        """Fields merge() leaves alone (coordinator-only bookkeeping)."""
+        return tuple(
+            f.name for f in fields(cls) if f.metadata.get("scope") == "coordinator"
+        )
+
+    # -- timing ----------------------------------------------------------------
 
     @contextmanager
     def timing(self, component: str):
+        """Attribute the block's *self-time* to ``component``.
+
+        Reentrancy-safe: a nested timing() span's elapsed time is
+        subtracted from the enclosing component, so e.g. encode_time
+        accrued inside a compute_time block is not double-counted.
+        """
+        stack = self._tstack
+        stack.append(0.0)
         start = time.perf_counter()
         try:
             yield
         finally:
             elapsed = time.perf_counter() - start
-            setattr(self, component, getattr(self, component) + elapsed)
+            child = stack.pop()
+            setattr(
+                self, component, getattr(self, component) + elapsed - child
+            )
+            if stack:
+                stack[-1] += elapsed
+
+    # -- metrics ---------------------------------------------------------------
+
+    def ensure_metrics(self):
+        """Attach (and return) the engine's standard histogram registry."""
+        if self.metrics is None:
+            from repro.obs.metrics import engine_metrics
+
+            self.metrics = engine_metrics()
+        return self.metrics
+
+    def registry_view(self):
+        """The full stats as a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        Scalar fields become counters/gauges by their declared kind,
+        derived rates are exported as gauges, and any attached histogram
+        registry is folded in.  This is the export surface for
+        ``--metrics-json`` and the benchmark reports.
+        """
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        for f in fields(self):
+            kind, _scope = self._meta(f)
+            value = getattr(self, f.name)
+            if kind == "counter":
+                registry.counter(f.name).inc(value)
+            elif kind == "gauge":
+                registry.gauge(f.name).set(value)
+            elif kind == "flag":
+                registry.gauge(f.name).set(int(value))
+        registry.gauge("cache_hit_rate").set(self.cache_hit_rate)
+        registry.gauge("prefetch_hit_rate").set(self.prefetch_hit_rate)
+        if self.metrics is not None:
+            registry.merge(self.metrics)
+        return registry
+
+    # -- derived quantities ----------------------------------------------------
 
     @property
     def cache_hit_rate(self) -> float:
@@ -98,27 +205,33 @@ class EngineStats:
             "compute": self.compute_time / total,
         }
 
+    # -- aggregation -----------------------------------------------------------
+
     def merge(self, other: "EngineStats") -> None:
-        """Fold a worker's stats into this one (times sum across threads)."""
-        for name in (
-            "io_time",
-            "encode_time",
-            "smt_time",
-            "compute_time",
-            "feasibility_time",
-            "pairs_processed",
-            "new_edges",
-            "compositions_tried",
-            "constraints_solved",
-            "constraint_queries",
-            "cache_hits",
-            "infeasible_dropped",
-            "encoding_overflow_dropped",
-            "prefetch_hits",
-            "prefetch_misses",
-            "spill_frames",
-            "spill_bytes",
-            "join_batches",
-            "join_probes",
-        ):
-            setattr(self, name, getattr(self, name) + getattr(other, name))
+        """Fold a worker's stats into this one (times sum across threads).
+
+        Driven by field metadata: worker counters sum, flags OR,
+        registries merge histogram-by-histogram, and coordinator-scope
+        fields are left untouched.
+        """
+        for f in fields(self):
+            kind, scope = self._meta(f)
+            if scope == "coordinator":
+                continue
+            if kind == "counter":
+                setattr(
+                    self, f.name, getattr(self, f.name) + getattr(other, f.name)
+                )
+            elif kind == "flag":
+                setattr(
+                    self, f.name, getattr(self, f.name) or getattr(other, f.name)
+                )
+            elif kind == "registry":
+                theirs = getattr(other, f.name)
+                if theirs is None:
+                    continue
+                mine = getattr(self, f.name)
+                if mine is None:
+                    setattr(self, f.name, theirs.clone())
+                else:
+                    mine.merge(theirs)

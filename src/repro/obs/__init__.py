@@ -1,0 +1,50 @@
+"""repro.obs -- structured observability for the engine.
+
+Three layers, all zero-cost when disabled:
+
+* :mod:`repro.obs.trace` -- span recording in Chrome ``trace_event``
+  format (plus a compact JSONL fallback).  The engine, the I/O pipeline
+  threads, and forked parallel workers all record into (or ship spans
+  back to) one :class:`TraceRecorder`; load the exported file in
+  ``chrome://tracing`` or https://ui.perfetto.dev.
+* :mod:`repro.obs.metrics` -- counters, gauges, and fixed-bucket
+  histograms in a :class:`MetricsRegistry`.
+  :class:`~repro.engine.stats.EngineStats` exposes its whole field list
+  as a registry view, and the engine records latency/size histograms
+  (constraint-solve latency, per-pair edge counts, prefetch waits) into
+  a registry carried on the stats object.
+* :mod:`repro.obs.report` -- the ``grapple/run-report`` JSON schema
+  (``repro check --metrics-json``), validators for report and trace
+  files (``python -m repro.obs validate``), and the stderr progress
+  :class:`Heartbeat`.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    engine_metrics,
+)
+from repro.obs.report import (
+    Heartbeat,
+    build_run_report,
+    validate_run_report,
+    validate_trace,
+)
+from repro.obs.trace import NULL_RECORDER, NullRecorder, TraceRecorder
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "engine_metrics",
+    "Heartbeat",
+    "build_run_report",
+    "validate_run_report",
+    "validate_trace",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "TraceRecorder",
+]

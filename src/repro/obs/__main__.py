@@ -1,0 +1,71 @@
+"""``python -m repro.obs validate`` -- check exported artifacts.
+
+Validates a Chrome trace (``--trace``) and/or a run report
+(``--metrics``) against the schemas in :mod:`repro.obs.report`; CI runs
+this over the files produced by the bench smoke job.  Exits 1 when any
+file fails validation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.report import trace_coverage, validate_run_report, validate_trace
+
+
+def _load(path: str):
+    if path.endswith(".jsonl"):
+        with open(path) as f:
+            return [json.loads(line) for line in f if line.strip()]
+    with open(path) as f:
+        return json.load(f)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.obs")
+    sub = parser.add_subparsers(dest="command", required=True)
+    val = sub.add_parser("validate", help="validate trace/report files")
+    val.add_argument("--trace", help="Chrome trace JSON (or JSONL) to validate")
+    val.add_argument("--metrics", help="run-report JSON to validate")
+    args = parser.parse_args(argv)
+
+    if not args.trace and not args.metrics:
+        parser.error("give --trace and/or --metrics")
+
+    failed = False
+    if args.trace:
+        trace = _load(args.trace)
+        errors = validate_trace(trace)
+        if errors:
+            failed = True
+            print(f"{args.trace}: INVALID")
+            for error in errors:
+                print(f"  - {error}")
+        else:
+            cov = trace_coverage(trace)
+            print(
+                f"{args.trace}: ok -- {cov['spans']} spans,"
+                f" {len(cov['pids'])} process(es),"
+                f" kinds: {', '.join(cov['known_spans_covered'])}"
+            )
+    if args.metrics:
+        report = _load(args.metrics)
+        errors = validate_run_report(report)
+        if errors:
+            failed = True
+            print(f"{args.metrics}: INVALID")
+            for error in errors:
+                print(f"  - {error}")
+        else:
+            n_hist = len(report.get("histograms", {}))
+            print(
+                f"{args.metrics}: ok -- {len(report.get('counters', {}))}"
+                f" counters, {n_hist} histograms"
+            )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,223 @@
+"""The ``grapple/run-report`` schema, validators, and progress heartbeat.
+
+A run report is the machine-readable counterpart of ``--stats``: one JSON
+object holding the wall-clock timing split, the paper's Figure-9
+component breakdown, every :class:`~repro.engine.stats.EngineStats`
+field (exported through the stats' metrics-registry view, so new
+counters appear automatically), and the engine's fixed-bucket histograms
+when metrics collection was on.  ``repro check --metrics-json FILE``
+writes one; the benchmark harness embeds one per measured run; CI
+validates both artifacts with ``python -m repro.obs validate``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+REPORT_SCHEMA = "grapple/run-report"
+REPORT_VERSION = 1
+
+#: Span names a full engine trace is expected to draw from (validation
+#: reports which of these a trace actually covers; serial runs have no
+#: ``wave`` spans, split-free runs no ``repartition`` spans).
+KNOWN_SPANS = (
+    "closure", "iteration", "wave", "pair-compute",
+    "prefetch", "spill", "repartition", "smt-solve",
+)
+
+_TIMING_KEYS = ("preprocess_s", "computation_s", "total_s")
+_BREAKDOWN_KEYS = ("io", "encode", "smt", "compute")
+
+
+def build_run_report(run, subject: str | None = None) -> dict:
+    """Structured report for one :class:`~repro.analysis.pipeline.GrappleRun`."""
+    stats = run.stats
+    snapshot = stats.registry_view().snapshot()
+    report = {
+        "schema": REPORT_SCHEMA,
+        "version": REPORT_VERSION,
+        "generated_unix": round(time.time(), 3),
+        "timing": {
+            "preprocess_s": round(run.preprocess_time, 6),
+            "computation_s": round(run.computation_time, 6),
+            "total_s": round(run.total_time, 6),
+        },
+        "breakdown": {k: round(v, 6) for k, v in stats.breakdown().items()},
+        "counters": {
+            k: round(v, 6) if isinstance(v, float) else v
+            for k, v in snapshot["counters"].items()
+        },
+        "gauges": {
+            k: round(v, 6) if isinstance(v, float) else v
+            for k, v in snapshot["gauges"].items()
+        },
+        "histograms": snapshot["histograms"],
+        "warnings": len(run.report.warnings),
+    }
+    if subject is not None:
+        report["subject"] = subject
+    return report
+
+
+# -- validation ----------------------------------------------------------------
+
+
+def validate_run_report(report) -> list[str]:
+    """Schema errors in a run report ([] = valid)."""
+    errors: list[str] = []
+    if not isinstance(report, dict):
+        return ["report is not a JSON object"]
+    if report.get("schema") != REPORT_SCHEMA:
+        errors.append(
+            f"schema is {report.get('schema')!r}, expected {REPORT_SCHEMA!r}"
+        )
+    if not isinstance(report.get("version"), int):
+        errors.append("version is not an integer")
+    timing = report.get("timing")
+    if not isinstance(timing, dict):
+        errors.append("timing section missing")
+    else:
+        for key in _TIMING_KEYS:
+            if not isinstance(timing.get(key), (int, float)):
+                errors.append(f"timing.{key} is not a number")
+    breakdown = report.get("breakdown")
+    if not isinstance(breakdown, dict):
+        errors.append("breakdown section missing")
+    else:
+        for key in _BREAKDOWN_KEYS:
+            if not isinstance(breakdown.get(key), (int, float)):
+                errors.append(f"breakdown.{key} is not a number")
+    for section in ("counters", "gauges"):
+        values = report.get(section)
+        if not isinstance(values, dict):
+            errors.append(f"{section} section missing")
+            continue
+        for name, value in values.items():
+            if not isinstance(value, (int, float)):
+                errors.append(f"{section}.{name} is not a number")
+    histograms = report.get("histograms")
+    if not isinstance(histograms, dict):
+        errors.append("histograms section missing")
+    else:
+        for name, hist in histograms.items():
+            errors.extend(_validate_histogram(name, hist))
+    if not isinstance(report.get("warnings"), int):
+        errors.append("warnings is not an integer")
+    return errors
+
+
+def _validate_histogram(name: str, hist) -> list[str]:
+    errors: list[str] = []
+    if not isinstance(hist, dict):
+        return [f"histograms.{name} is not an object"]
+    buckets = hist.get("buckets")
+    counts = hist.get("counts")
+    if not isinstance(buckets, list) or not isinstance(counts, list):
+        return [f"histograms.{name}: buckets/counts missing"]
+    if list(buckets) != sorted(buckets):
+        errors.append(f"histograms.{name}: buckets are not sorted")
+    if len(counts) != len(buckets) + 1:
+        errors.append(
+            f"histograms.{name}: {len(counts)} counts for"
+            f" {len(buckets)} buckets (want buckets + 1)"
+        )
+    if not isinstance(hist.get("count"), int):
+        errors.append(f"histograms.{name}: count is not an integer")
+    elif sum(counts) != hist["count"]:
+        errors.append(
+            f"histograms.{name}: bucket counts sum to {sum(counts)},"
+            f" count says {hist['count']}"
+        )
+    if not isinstance(hist.get("sum"), (int, float)):
+        errors.append(f"histograms.{name}: sum is not a number")
+    return errors
+
+
+def validate_trace(trace) -> list[str]:
+    """Schema errors in a Chrome-trace object ([] = valid).
+
+    Accepts the ``{"traceEvents": [...]}`` object form or a bare event
+    list (the parsed JSONL fallback).
+    """
+    if isinstance(trace, dict):
+        events = trace.get("traceEvents")
+        if not isinstance(events, list):
+            return ["traceEvents is missing or not a list"]
+    elif isinstance(trace, list):
+        events = trace
+    else:
+        return ["trace is neither an object nor an event list"]
+    errors: list[str] = []
+    for at, event in enumerate(events):
+        if not isinstance(event, dict):
+            errors.append(f"event {at} is not an object")
+            continue
+        for key in ("ph", "name", "pid", "tid"):
+            if key not in event:
+                errors.append(f"event {at} ({event.get('name')!r}): no {key!r}")
+        if event.get("ph") == "X":
+            for key in ("ts", "dur"):
+                if not isinstance(event.get(key), (int, float)):
+                    errors.append(
+                        f"event {at} ({event.get('name')!r}):"
+                        f" {key!r} is not a number"
+                    )
+        if len(errors) > 20:
+            errors.append("... (truncated)")
+            break
+    return errors
+
+
+def trace_coverage(trace) -> dict:
+    """Summary of a trace: span names, pids, and event count."""
+    events = trace.get("traceEvents", []) if isinstance(trace, dict) else trace
+    spans = [e for e in events if isinstance(e, dict) and e.get("ph") == "X"]
+    names = sorted({e["name"] for e in spans})
+    return {
+        "events": len(events),
+        "spans": len(spans),
+        "span_names": names,
+        "known_spans_covered": [n for n in KNOWN_SPANS if n in names],
+        "pids": sorted({e["pid"] for e in spans}),
+    }
+
+
+# -- progress heartbeat --------------------------------------------------------
+
+
+class Heartbeat:
+    """Periodic one-line progress report on stderr.
+
+    The engine calls :meth:`maybe_beat` once per serial pair / parallel
+    wave; a line is emitted at most every ``interval`` seconds, so the
+    cost is one clock read per call.
+    """
+
+    def __init__(self, interval: float, stream=None, clock=time.monotonic):
+        self.interval = interval
+        self.stream = stream
+        self.clock = clock
+        self.beats = 0
+        self._started = clock()
+        self._next = self._started + interval
+
+    def maybe_beat(self, stats, store, scheduler) -> bool:
+        now = self.clock()
+        if now < self._next:
+            return False
+        self._next = now + self.interval
+        self.beats += 1
+        eligible = scheduler.eligible_count()
+        done = stats.pairs_processed
+        edges = store.total_edges()
+        occupancy = store.cache_occupancy()
+        print(
+            f"[grapple +{now - self._started:6.1f}s] pairs {done} done"
+            f" / {eligible} eligible · edges {edges}"
+            f" · budget {occupancy:.0%} resident"
+            f" · waves {stats.waves} · solves {stats.constraints_solved}",
+            file=self.stream if self.stream is not None else sys.stderr,
+            flush=True,
+        )
+        return True

@@ -18,7 +18,7 @@ side, the conservative direction for path feasibility.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from fractions import Fraction
 
 from repro.smt import expr as E
@@ -55,14 +55,13 @@ class SolverStats:
     memo_misses: int = 0
 
     def merge(self, other: "SolverStats") -> None:
-        self.checks += other.checks
-        self.sat += other.sat
-        self.unsat += other.unsat
-        self.theory_calls += other.theory_calls
-        self.fast_path += other.fast_path
-        self.gave_up += other.gave_up
-        self.memo_hits += other.memo_hits
-        self.memo_misses += other.memo_misses
+        """Sum every counter field (derived, so new counters can't be
+        forgotten the way a hand-written list can)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 @dataclass

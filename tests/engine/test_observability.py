@@ -1,0 +1,345 @@
+"""Tests for the observability layer (repro.obs + its engine hooks).
+
+Covers the satellite guarantees: EngineStats.merge() derived from the
+field list (preprocess_time can no longer be dropped), reentrancy-safe
+timing(), worker trace spans carrying distinct pids under a forked pool,
+metrics that agree with the counters across serial and parallel runs,
+zero entries when disabled, and the run-report/trace schemas.
+"""
+
+import io
+import json
+import time
+
+import pytest
+
+from repro import EngineOptions, Grapple, GrappleOptions, default_checkers
+from repro.engine.stats import EngineStats
+from repro.obs.metrics import LATENCY_BUCKETS_S, Histogram, MetricsRegistry
+from repro.obs.report import (
+    Heartbeat,
+    build_run_report,
+    trace_coverage,
+    validate_run_report,
+    validate_trace,
+)
+from repro.obs.trace import NULL_RECORDER, TraceRecorder
+from repro.workloads import build_subject
+
+
+def _run(source, workers=1, dispatch="fork", trace=None, metrics=False,
+         heartbeat=None, budget=4 << 20):
+    options = GrappleOptions(
+        engine=EngineOptions(
+            memory_budget=budget,
+            workers=workers,
+            parallel_dispatch=dispatch,
+            trace=trace,
+            metrics=metrics,
+            heartbeat=heartbeat,
+        )
+    )
+    fsms = [c.fsm for c in default_checkers()]
+    return Grapple(source, fsms, options).run()
+
+
+# -- EngineStats.merge derived from the field list -----------------------------
+
+
+def test_merge_sums_every_worker_counter_including_preprocess_time():
+    total = EngineStats()
+    delta = EngineStats(preprocess_time=0.25, io_time=1.0, pairs_processed=3)
+    total.merge(delta)
+    # The old hand-written merge tuple dropped preprocess_time.
+    assert total.preprocess_time == 0.25
+    assert total.io_time == 1.0
+    assert total.pairs_processed == 3
+
+
+def test_merge_field_classification_is_exhaustive():
+    from dataclasses import fields
+
+    summed = set(EngineStats.summed_fields())
+    coordinator = set(EngineStats.coordinator_fields())
+    other = {
+        f.name
+        for f in fields(EngineStats)
+        if f.name not in summed and f.name not in coordinator
+    }
+    # Every time component the breakdown reports must be summable.
+    assert {"io_time", "encode_time", "smt_time", "compute_time",
+            "preprocess_time"} <= summed
+    # Coordinator-only bookkeeping must never be double-counted.
+    assert {"waves", "pairs_skipped", "iterations", "repartitions",
+            "edges_before", "edges_after", "vertices",
+            "final_partitions"} == coordinator
+    # Anything else must be an explicitly non-counter kind, not a
+    # forgotten field.
+    assert other == {"timed_out", "metrics"}
+
+
+def test_merge_leaves_coordinator_fields_and_ors_flags():
+    total = EngineStats(waves=2, pairs_skipped=1, edges_after=100)
+    delta = EngineStats(waves=7, pairs_skipped=9, edges_after=999,
+                        timed_out=True)
+    total.merge(delta)
+    assert total.waves == 2
+    assert total.pairs_skipped == 1
+    assert total.edges_after == 100
+    assert total.timed_out is True
+
+
+def test_merge_folds_metrics_registries():
+    a = EngineStats()
+    b = EngineStats()
+    b.ensure_metrics().observe("solve_latency_s", 0.002)
+    a.merge(b)  # a has no registry: adopts a clone
+    assert a.metrics.histograms["solve_latency_s"].count == 1
+    c = EngineStats()
+    c.ensure_metrics().observe("solve_latency_s", 0.004)
+    a.merge(c)  # both present: exact histogram merge
+    assert a.metrics.histograms["solve_latency_s"].count == 2
+    assert b.metrics.histograms["solve_latency_s"].count == 1  # clone, not alias
+
+
+# -- reentrant timing ----------------------------------------------------------
+
+
+def test_timing_nested_spans_attribute_self_time_only():
+    stats = EngineStats()
+    with stats.timing("compute_time"):
+        time.sleep(0.02)
+        with stats.timing("io_time"):
+            time.sleep(0.03)
+        with stats.timing("smt_time"):
+            time.sleep(0.01)
+    # Inner elapsed must not double-count into the outer component.
+    assert stats.io_time >= 0.03
+    assert stats.smt_time >= 0.01
+    assert stats.compute_time >= 0.015
+    assert stats.compute_time < 0.035, (
+        "nested spans leaked into the enclosing component"
+    )
+    total = stats.compute_time + stats.io_time + stats.smt_time
+    assert 0.055 <= total < 0.09
+
+
+def test_timing_doubly_nested():
+    stats = EngineStats()
+    with stats.timing("compute_time"):
+        with stats.timing("io_time"):
+            with stats.timing("encode_time"):
+                time.sleep(0.02)
+    assert stats.encode_time >= 0.02
+    assert stats.io_time < 0.01
+    assert stats.compute_time < 0.01
+
+
+# -- trace recorder ------------------------------------------------------------
+
+
+def test_trace_absorb_rebases_worker_timestamps():
+    coord = TraceRecorder()
+    worker = TraceRecorder(role="worker")
+    # Fake a worker whose clock anchor is 2 seconds later than the
+    # coordinator's: a span at its local t=0 must land at +2s.
+    worker.wall0 = coord.wall0 + 2.0
+    worker.pid = coord.pid + 1
+    start = worker.begin()
+    worker.end("pair-compute", start)
+    [span] = [e for e in worker.events if e["ph"] == "X"]
+    local_ts = span["ts"]
+    coord.absorb(worker.ship())
+    [absorbed] = [e for e in coord.events if e["ph"] == "X"]
+    assert absorbed["ts"] == pytest.approx(local_ts + 2_000_000, abs=1.0)
+    assert absorbed["pid"] == worker.pid
+    assert worker.events == []  # ship() drains
+
+
+def test_trace_export_formats(tmp_path):
+    rec = TraceRecorder()
+    with rec.span("closure", workers=1):
+        pass
+    chrome = tmp_path / "t.json"
+    jsonl = tmp_path / "t.jsonl"
+    rec.export(str(chrome))
+    rec.export(str(jsonl))
+    doc = json.loads(chrome.read_text())
+    assert validate_trace(doc) == []
+    lines = [json.loads(line) for line in jsonl.read_text().splitlines()]
+    assert validate_trace(lines) == []
+    assert any(e["ph"] == "X" and e["name"] == "closure" for e in lines)
+
+
+def test_null_recorder_records_nothing():
+    assert NULL_RECORDER.enabled is False
+    with NULL_RECORDER.span("anything"):
+        pass
+    NULL_RECORDER.end("x", NULL_RECORDER.begin())
+    NULL_RECORDER.instant("y")
+    NULL_RECORDER.note_thread("z")
+    assert NULL_RECORDER.ship() is None
+    assert not hasattr(NULL_RECORDER, "events")
+
+
+# -- engine integration --------------------------------------------------------
+
+
+def test_parallel_trace_covers_span_kinds_from_distinct_pids():
+    source = build_subject("zookeeper", scale=0.4).source
+    recorder = TraceRecorder()
+    run = _run(source, workers=4, dispatch="fork", trace=recorder,
+               budget=256 << 10)
+    names = recorder.span_names()
+    assert {"closure", "iteration", "wave", "pair-compute",
+            "smt-solve"} <= names
+    assert {"prefetch", "spill", "repartition"} <= names, (
+        "I/O and repartition spans missing -- budget did not stress store"
+    )
+    assert len(recorder.pids()) >= 2, (
+        "no spans shipped back from forked worker processes"
+    )
+    # Worker spans really came from workers: pair-compute appears under
+    # a pid other than the coordinator's.
+    pair_pids = {
+        e["pid"] for e in recorder.events
+        if e["ph"] == "X" and e["name"] == "pair-compute"
+    }
+    assert pair_pids - {recorder.pid}
+    assert validate_trace(recorder.chrome_trace()) == []
+    assert run.report.warnings
+
+
+def test_disabled_observability_adds_nothing():
+    source = build_subject("zookeeper", scale=0.3).source
+    run = _run(source, workers=2, dispatch="fork", trace=None, metrics=False)
+    assert run.stats.metrics is None
+    # And the engines ran against the shared no-op recorder.
+    assert NULL_RECORDER.ship() is None
+
+
+@pytest.mark.parametrize("workers,dispatch", [(1, "auto"), (4, "fork")])
+def test_metrics_agree_with_counters(workers, dispatch):
+    source = build_subject("zookeeper", scale=0.4).source
+    run = _run(source, workers=workers, dispatch=dispatch, metrics=True)
+    stats = run.stats
+    hists = stats.metrics.histograms
+    # Histogram observation counts must equal the independently merged
+    # scalar counters -- one observation per solver invocation / pair.
+    assert hists["solve_latency_s"].count == stats.constraints_solved
+    assert hists["pair_compute_s"].count == stats.pairs_processed
+    assert hists["pair_new_edges"].count == stats.pairs_processed
+    assert hists["pair_new_edges"].total == stats.new_edges
+    for hist in hists.values():
+        assert sum(hist.counts) == hist.count
+
+
+def test_parallel_metrics_totals_match_serial():
+    source = build_subject("zookeeper", scale=0.4).source
+    serial = _run(source, workers=1, metrics=True)
+    parallel = _run(source, workers=4, dispatch="fork", metrics=True)
+    # The fixpoint is deterministic, so the merged edge-yield histogram
+    # total (sum over pairs of new edges) must agree on edges_after.
+    assert serial.stats.edges_after == parallel.stats.edges_after
+    assert (
+        serial.stats.metrics.histograms["pair_new_edges"].total
+        == serial.stats.new_edges
+    )
+    assert (
+        parallel.stats.metrics.histograms["pair_new_edges"].total
+        == parallel.stats.new_edges
+    )
+
+
+# -- histograms ----------------------------------------------------------------
+
+
+def test_histogram_bucketing_and_merge():
+    h = Histogram("lat", (0.001, 0.01, 0.1))
+    for v in (0.0005, 0.001, 0.005, 0.05, 5.0):
+        h.observe(v)
+    assert h.counts == [2, 1, 1, 1]  # <=0.001, <=0.01, <=0.1, overflow
+    assert h.count == 5
+    other = Histogram("lat", (0.001, 0.01, 0.1))
+    other.observe(0.02)
+    h.merge(other)
+    assert h.counts == [2, 1, 2, 1]
+    mismatched = Histogram("lat", (0.5, 1.0))
+    with pytest.raises(ValueError):
+        h.merge(mismatched)
+
+
+def test_registry_merge_and_snapshot():
+    a = MetricsRegistry()
+    a.counter("edges").inc(3)
+    a.histogram("lat", LATENCY_BUCKETS_S).observe(0.002)
+    b = MetricsRegistry()
+    b.counter("edges").inc(4)
+    b.gauge("budget").set(0.5)
+    b.histogram("lat", LATENCY_BUCKETS_S).observe(0.2)
+    a.merge(b)
+    snap = a.snapshot()
+    assert snap["counters"]["edges"] == 7
+    assert snap["gauges"]["budget"] == 0.5
+    assert snap["histograms"]["lat"]["count"] == 2
+
+
+# -- run report & heartbeat ----------------------------------------------------
+
+
+def test_run_report_schema_roundtrip():
+    source = build_subject("zookeeper", scale=0.3).source
+    run = _run(source, metrics=True)
+    report = build_run_report(run, subject="zookeeper")
+    assert validate_run_report(report) == []
+    assert report["subject"] == "zookeeper"
+    assert report["counters"]["pairs_processed"] == run.stats.pairs_processed
+    assert report["gauges"]["edges_after"] == run.stats.edges_after
+    assert report["histograms"]["solve_latency_s"]["count"] == (
+        run.stats.constraints_solved
+    )
+    # Survives a JSON round trip unchanged.
+    assert validate_run_report(json.loads(json.dumps(report))) == []
+    broken = json.loads(json.dumps(report))
+    broken["histograms"]["solve_latency_s"]["counts"].append(1)
+    assert validate_run_report(broken)
+
+
+def test_trace_coverage_summary():
+    rec = TraceRecorder()
+    with rec.span("closure"):
+        pass
+    with rec.span("not-a-known-span"):
+        pass
+    cov = trace_coverage(rec.chrome_trace())
+    assert cov["known_spans_covered"] == ["closure"]
+    assert "not-a-known-span" in cov["span_names"]
+    assert cov["pids"] == [rec.pid]
+
+
+def test_heartbeat_is_interval_gated():
+    class _Store:
+        def total_edges(self):
+            return 42
+
+        def cache_occupancy(self):
+            return 0.5
+
+    class _Scheduler:
+        def eligible_count(self):
+            return 7
+
+    now = [0.0]
+    out = io.StringIO()
+    hb = Heartbeat(10.0, stream=out, clock=lambda: now[0])
+    stats = EngineStats(pairs_processed=3, waves=2, constraints_solved=9)
+    assert hb.maybe_beat(stats, _Store(), _Scheduler()) is False
+    now[0] = 10.5
+    assert hb.maybe_beat(stats, _Store(), _Scheduler()) is True
+    now[0] = 11.0  # within the next interval: suppressed
+    assert hb.maybe_beat(stats, _Store(), _Scheduler()) is False
+    assert hb.beats == 1
+    line = out.getvalue()
+    assert "pairs 3 done / 7 eligible" in line
+    assert "edges 42" in line
+    assert "budget 50% resident" in line
