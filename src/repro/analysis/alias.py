@@ -58,8 +58,22 @@ def run_alias_phase(
     compiled: CompiledProgram,
     tracked_types: set[str] | None = None,
     options: EngineOptions | None = None,
+    relevance=None,
+    rstats=None,
 ) -> AliasAnalysis:
-    """Build the alias program graph and run the points-to closure."""
+    """Build the alias program graph and run the points-to closure.
+
+    ``relevance``/``rstats`` (from :mod:`repro.sa`) slice away variables
+    that cannot reach a tracked object before any edge is generated.
+    """
+    if relevance is not None and rstats is not None:
+        for func, vars_ in sorted(compiled.info.object_vars.items()):
+            sliced = sum(
+                1 for v in vars_ if not relevance.var_relevant(func, v)
+            )
+            rstats.alias_vars_sliced += sliced
+            if sliced and func not in relevance.alias_relevant_funcs:
+                rstats.functions_sliced += 1
     graph_result = build_alias_graph(
         compiled.program,
         compiled.icfet,
@@ -67,6 +81,8 @@ def run_alias_phase(
         compiled.info,
         compiled.forest,
         tracked_types,
+        relevance=relevance,
+        rstats=rstats,
     )
     engine = GraphEngine(compiled.icfet, PointsToGrammar(), options)
     engine_result = engine.run(graph_result.graph)

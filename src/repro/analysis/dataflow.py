@@ -23,12 +23,31 @@ def run_dataflow_phase(
     alias_phase: AliasAnalysis,
     fsms_by_type: dict[str, FSM],
     options: EngineOptions | None = None,
+    relevance=None,
+    rstats=None,
 ) -> DataflowAnalysis:
     """Propagate FSM states over the dataflow graph, answering alias
-    queries from phase 1's in-memory results."""
+    queries from phase 1's in-memory results.
+
+    ``relevance``/``rstats`` (from :mod:`repro.sa`) skip clones of
+    flow-irrelevant functions and, when reduction is on, compress linear
+    cf chains before the closure runs.
+    """
     graph_result = build_dataflow_graph(
-        compiled.icfet, alias_phase.graph_result, fsms_by_type
+        compiled.icfet,
+        alias_phase.graph_result,
+        fsms_by_type,
+        relevance=relevance,
+        rstats=rstats,
     )
+    if rstats is not None:
+        from repro.sa.reduce import compress_cf_chains
+
+        trace = options.trace if options is not None else None
+        tick = trace.begin() if trace is not None else 0.0
+        compress_cf_chains(graph_result, compiled.icfet, rstats)
+        if trace is not None:
+            trace.end("sa-compress", tick, cat="sa")
     grammar = DataflowGrammar(
         objects=graph_result.objects,
         alias_index=alias_phase.flows_to,

@@ -36,13 +36,44 @@ def compile_source(
     unroll: int = 2,
     max_clone_depth: int = 24,
     max_clones: int = 500_000,
+    reduce: bool = False,
+    reduction=None,
+    trace=None,
 ) -> CompiledProgram:
-    """Parse, lower, and index a subject program."""
+    """Parse, lower, and index a subject program.
+
+    With ``reduce`` on, the :mod:`repro.sa` AST reductions run between
+    exception lowering and CFET construction: constant branches are
+    folded away and dead pure-scalar stores removed, so the CFET (and
+    therefore every generated graph edge and path constraint) is built
+    from the reduced program.  ``reduction`` collects the counters and
+    ``trace`` (a :class:`repro.obs.trace.TraceRecorder`) the pass spans.
+    """
     start = time.perf_counter()
     program = parse_program(source)
     normalize_calls(program)
     unroll_loops(program, unroll)
     lower_exceptions(program)
+    if reduce:
+        from repro.sa.constprop import fold_constant_branches
+        from repro.sa.liveness import eliminate_dead_stores
+        from repro.sa.reduce import ReductionStats
+
+        if reduction is None:
+            reduction = ReductionStats()
+        tick = trace.begin() if trace is not None else 0.0
+        reduction.branches_folded += fold_constant_branches(program)
+        if trace is not None:
+            trace.end("sa-fold", tick, cat="sa")
+            tick = trace.begin()
+        # Dead-store elimination needs object-variable classification to
+        # restrict itself to scalars; the folded program gives the same
+        # (or a smaller) classification than the original.
+        reduction.dead_stores_removed += eliminate_dead_stores(
+            program, infer_object_vars(program)
+        )
+        if trace is not None:
+            trace.end("sa-dse", tick, cat="sa")
     icfet = build_icfet(program)
     callgraph = build_call_graph(program)
     info = infer_object_vars(program)

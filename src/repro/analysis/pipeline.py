@@ -27,6 +27,10 @@ class GrappleOptions:
     unroll: int = 2
     max_clone_depth: int = 24
     max_clones: int = 500_000
+    #: Run the pre-closure reductions (:mod:`repro.sa`): constant-branch
+    #: folding, dead-store elimination, FSM-relevance slicing and cf-chain
+    #: compression.  On by default; ``--no-reduce`` turns it off.
+    reduce: bool = True
     engine: EngineOptions = field(default_factory=EngineOptions)
 
 
@@ -41,31 +45,21 @@ class GrappleRun:
     preprocess_time: float
     computation_time: float
     total_time: float
+    #: Pre-closure reduction counters; None when reduction was off.
+    reduction: "ReductionStats | None" = None
 
     @property
     def stats(self) -> EngineStats:
-        """Merged engine stats across both phases (Fig. 9 components)."""
+        """Merged engine stats across both phases (Fig. 9 components).
+
+        Cross-phase aggregation is :meth:`EngineStats.merge_phase`,
+        derived entirely from field metadata: counters and gauges sum
+        (whatever their scope -- both operands are final per-phase
+        results, not worker deltas), flags OR, registries merge.
+        """
         merged = EngineStats()
-        for result in (
-            self.alias_phase.engine_result,
-            self.dataflow_phase.engine_result,
-        ):
-            merged.merge(result.stats)
-            merged.iterations += result.stats.iterations
-            merged.repartitions += result.stats.repartitions
-            merged.final_partitions += result.stats.final_partitions
-        merged.edges_before = (
-            self.alias_phase.engine_result.stats.edges_before
-            + self.dataflow_phase.engine_result.stats.edges_before
-        )
-        merged.edges_after = (
-            self.alias_phase.engine_result.stats.edges_after
-            + self.dataflow_phase.engine_result.stats.edges_after
-        )
-        merged.vertices = (
-            self.alias_phase.engine_result.stats.vertices
-            + self.dataflow_phase.engine_result.stats.vertices
-        )
+        merged.merge_phase(self.alias_phase.engine_result.stats)
+        merged.merge_phase(self.dataflow_phase.engine_result.stats)
         return merged
 
     def run_report(self, subject: str | None = None) -> dict:
@@ -91,11 +85,20 @@ class Grapple:
     def run(self) -> GrappleRun:
         options = self.options
         start = time.perf_counter()
+        reduction = None
+        trace = options.engine.trace
+        if options.reduce:
+            from repro.sa.reduce import ReductionStats
+
+            reduction = ReductionStats()
         compiled = compile_source(
             self.source,
             unroll=options.unroll,
             max_clone_depth=options.max_clone_depth,
             max_clones=options.max_clones,
+            reduce=options.reduce,
+            reduction=reduction,
+            trace=trace,
         )
         fsms_by_type: dict[str, FSM] = {}
         for fsm in self.fsms:
@@ -103,9 +106,31 @@ class Grapple:
                 fsms_by_type[type_name] = fsm
         tracked_types = set(fsms_by_type)
 
-        alias_phase = run_alias_phase(compiled, tracked_types, options.engine)
+        relevance = None
+        if options.reduce:
+            from repro.sa.relevance import compute_relevance
+
+            tracked_events: set[str] = set()
+            for fsm in self.fsms:
+                tracked_events |= fsm.events()
+            tick = trace.begin() if trace is not None else 0.0
+            relevance = compute_relevance(
+                compiled.program,
+                compiled.callgraph,
+                compiled.info,
+                tracked_types,
+                tracked_events,
+            )
+            if trace is not None:
+                trace.end("sa-relevance", tick, cat="sa")
+
+        alias_phase = run_alias_phase(
+            compiled, tracked_types, options.engine,
+            relevance=relevance, rstats=reduction,
+        )
         dataflow_phase = run_dataflow_phase(
-            compiled, alias_phase, fsms_by_type, options.engine
+            compiled, alias_phase, fsms_by_type, options.engine,
+            relevance=relevance, rstats=reduction,
         )
         report = extract_report(dataflow_phase, compiled.icfet)
         total = time.perf_counter() - start
@@ -123,6 +148,7 @@ class Grapple:
             preprocess_time=preprocess,
             computation_time=total - preprocess,
             total_time=total,
+            reduction=reduction,
         )
 
 

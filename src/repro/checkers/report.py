@@ -45,6 +45,59 @@ class Warning:
         return text
 
 
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    """One lint finding (:mod:`repro.sa.lint`): a local, syntactic or
+    CFG-level observation, cheaper and chattier than a checker
+    :class:`Warning` -- no path feasibility is consulted.
+
+    ``kind`` is a stable machine-readable category
+    (``use-before-init``, ``unreachable-code``, ``constant-branch``,
+    ``escape-without-close``); ``subject`` names the variable or
+    condition concerned.
+    """
+
+    kind: str
+    func: str
+    line: int
+    subject: str
+    message: str
+
+    def describe(self) -> str:
+        return f"line {self.line}: [{self.kind}] {self.func}: {self.message}"
+
+    def sort_key(self) -> tuple:
+        return (self.func, self.line, self.kind, self.subject, self.message)
+
+
+@dataclass
+class LintReport:
+    """All lint diagnostics for one program, in deterministic order."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        if diagnostic not in self.diagnostics:
+            self.diagnostics.append(diagnostic)
+
+    def sorted(self) -> list[Diagnostic]:
+        return sorted(self.diagnostics, key=Diagnostic.sort_key)
+
+    def kinds(self) -> set[str]:
+        return {d.kind for d in self.diagnostics}
+
+    def by_kind(self, kind: str) -> list[Diagnostic]:
+        return [d for d in self.sorted() if d.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def summary(self) -> str:
+        lines = [f"{len(self.diagnostics)} lint diagnostic(s)"]
+        lines.extend(d.describe() for d in self.sorted())
+        return "\n".join(lines)
+
+
 @dataclass
 class Report:
     """All warnings from one Grapple run, deduplicated per site/state."""

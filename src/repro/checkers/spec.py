@@ -30,18 +30,41 @@ class SpecError(ValueError):
 
 
 def parse_fsm_specs(text: str) -> list[FSM]:
-    """Parse one or more FSM blocks from spec text."""
+    """Parse one or more FSM blocks from spec text.
+
+    Every :class:`SpecError` names the offending line.  Beyond shape
+    errors, the parser rejects: two ``fsm`` blocks with the same name,
+    the same ``(state, event)`` transition declared twice (the second
+    declaration would silently win otherwise), and transitions out of a
+    state the block never introduces elsewhere (not the initial state,
+    not accepting, not an error state, and never a transition target --
+    almost always a typo, since no object can ever be in that state).
+    """
     fsms: list[FSM] = []
+    seen_names: dict[str, int] = {}
     block: dict | None = None
 
     def finish() -> None:
         nonlocal block
         if block is None:
             return
+        at = block["line"]
         for required in ("name", "types", "initial", "accepting"):
             if not block.get(required):
                 raise SpecError(
-                    f"fsm {block.get('name', '?')!r}: missing {required!r}"
+                    f"line {at}: fsm {block.get('name', '?')!r}:"
+                    f" missing {required!r}"
+                )
+        declared = {block["initial"]}
+        declared.update(block["accepting"])
+        declared.update(block["errors"])
+        declared.update(block["transitions"].values())
+        for (src, event), tline in block["tlines"].items():
+            if src not in declared:
+                raise SpecError(
+                    f"line {tline}: fsm {block['name']!r}: transition from"
+                    f" undeclared state {src!r} (not initial, accepting,"
+                    f" error, or any transition's target)"
                 )
         try:
             fsms.append(
@@ -55,7 +78,7 @@ def parse_fsm_specs(text: str) -> list[FSM]:
                 )
             )
         except FsmError as error:
-            raise SpecError(str(error)) from error
+            raise SpecError(f"line {at}: {error}") from error
         block = None
 
     for lineno, raw in enumerate(text.splitlines(), start=1):
@@ -68,13 +91,21 @@ def parse_fsm_specs(text: str) -> list[FSM]:
             finish()
             if len(words) != 2:
                 raise SpecError(f"line {lineno}: 'fsm' takes exactly one name")
+            if words[1] in seen_names:
+                raise SpecError(
+                    f"line {lineno}: duplicate fsm name {words[1]!r}"
+                    f" (first declared on line {seen_names[words[1]]})"
+                )
+            seen_names[words[1]] = lineno
             block = {
                 "name": words[1],
+                "line": lineno,
                 "types": [],
                 "initial": None,
                 "accepting": [],
                 "errors": [],
                 "transitions": {},
+                "tlines": {},
             }
             continue
         if block is None:
@@ -90,7 +121,17 @@ def parse_fsm_specs(text: str) -> list[FSM]:
         elif keyword == "error":
             block["errors"].extend(words[1:])
         else:
-            block["transitions"].update(_parse_transition(line, lineno))
+            transition = _parse_transition(line, lineno)
+            (key,) = transition
+            if key in block["transitions"]:
+                src, event = key
+                raise SpecError(
+                    f"line {lineno}: duplicate transition"
+                    f" {src!r} -{event}-> (first declared on line"
+                    f" {block['tlines'][key]})"
+                )
+            block["transitions"].update(transition)
+            block["tlines"][key] = lineno
     finish()
     if not fsms:
         raise SpecError("no fsm blocks found")

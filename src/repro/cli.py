@@ -43,6 +43,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument("--unroll", type=int, default=2,
                        help="loop unroll bound (default 2)")
+    check.add_argument("--reduce", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="pre-closure static-analysis reductions"
+                       " (constant-branch folding, dead-store elimination,"
+                       " FSM-relevance slicing, cf-chain compression);"
+                       " on by default, --no-reduce disables")
+    check.add_argument("--lint", action="store_true",
+                       help="also run the mini-language linter and print"
+                       " its diagnostics to stderr (use-before-init,"
+                       " unreachable code, constant branches, tracked"
+                       " objects escaping without a close)")
     check.add_argument("--memory-budget", type=float, default=64,
                        help="engine memory budget in MiB; fractions allowed"
                        " (default 64)")
@@ -107,6 +118,7 @@ def cmd_check(args) -> int:
         recorder = TraceRecorder()
     options = GrappleOptions(
         unroll=args.unroll,
+        reduce=args.reduce,
         engine=EngineOptions(
             memory_budget=int(args.memory_budget * (1 << 20)),
             enable_cache=not args.no_cache,
@@ -119,6 +131,13 @@ def cmd_check(args) -> int:
             heartbeat=args.heartbeat,
         ),
     )
+    if args.lint:
+        from repro.sa.lint import run_lint
+
+        lint_report = run_lint(
+            source, fsms=[c.fsm for c in checkers], unroll=args.unroll
+        )
+        print(lint_report.summary(), file=sys.stderr)
     run = Grapple(source, [c.fsm for c in checkers], options).run()
     if recorder is not None:
         recorder.export(args.trace)
@@ -150,6 +169,8 @@ def cmd_check(args) -> int:
               f" ({stats.spill_bytes} bytes)")
         print(f"join batches/probes : {stats.join_batches}"
               f" / {stats.join_probes}")
+        if run.reduction is not None:
+            print(f"reduction           : {run.reduction.summary()}")
         print(f"total time          : {run.total_time:.2f}s")
     return 1 if run.report.warnings else 0
 

@@ -207,6 +207,37 @@ class EngineStats:
 
     # -- aggregation -----------------------------------------------------------
 
+    def merge_phase(self, other: "EngineStats") -> None:
+        """Fold a *completed phase's* stats into a cross-phase total.
+
+        Unlike :meth:`merge` (worker delta -> coordinator, which must
+        leave coordinator bookkeeping alone), both sides here are final
+        per-phase results, so every numeric field aggregates: counters
+        sum regardless of scope, gauges sum (a whole-run edge/vertex
+        total is the sum of per-phase totals), flags OR, registries
+        merge.  Derived from field metadata -- a newly added field
+        aggregates correctly without touching any hand-written list.
+        """
+        for f in fields(self):
+            kind, _scope = self._meta(f)
+            if kind in ("counter", "gauge"):
+                setattr(
+                    self, f.name, getattr(self, f.name) + getattr(other, f.name)
+                )
+            elif kind == "flag":
+                setattr(
+                    self, f.name, getattr(self, f.name) or getattr(other, f.name)
+                )
+            elif kind == "registry":
+                theirs = getattr(other, f.name)
+                if theirs is None:
+                    continue
+                mine = getattr(self, f.name)
+                if mine is None:
+                    setattr(self, f.name, theirs.clone())
+                else:
+                    mine.merge(theirs)
+
     def merge(self, other: "EngineStats") -> None:
         """Fold a worker's stats into this one (times sum across threads).
 

@@ -84,25 +84,51 @@ def build_alias_graph(
     info: ObjectInfo,
     forest: CloneForest,
     tracked_types: set[str] | None = None,
+    relevance=None,
+    rstats=None,
 ) -> AliasGraphResult:
-    """Generate the cloned, path-encoded alias program graph."""
-    builder = _AliasBuilder(program, icfet, info, forest, tracked_types)
+    """Generate the cloned, path-encoded alias program graph.
+
+    With ``relevance`` (a :class:`repro.sa.relevance.RelevanceInfo`), edges
+    whose endpoints name-slice away from every tracked allocation are not
+    generated at all; ``rstats`` counts the suppressions.
+    """
+    builder = _AliasBuilder(
+        program, icfet, info, forest, tracked_types, relevance, rstats
+    )
     builder.run()
     return builder.result
 
 
 class _AliasBuilder:
-    def __init__(self, program, icfet, info, forest, tracked_types):
+    def __init__(self, program, icfet, info, forest, tracked_types,
+                 relevance=None, rstats=None):
         self.program = program
         self.icfet = icfet
         self.info = info
         self.forest = forest
         self.tracked_types = tracked_types
+        self.relevance = relevance
+        self.rstats = rstats
         self.result = AliasGraphResult(ProgramGraph(), forest)
         # clone key -> {var -> sorted set of node ids with an occurrence}
         self.occurrences: dict = {}
         # clone key -> list of (node_id, ExcLink statement)
         self.exclinks: dict = {}
+
+    # -- relevance gating ----------------------------------------------------
+
+    def _keep(self, func: str, *names: str) -> bool:
+        """True when every named variable can reach a tracked object."""
+        if self.relevance is None:
+            return True
+        return all(self.relevance.var_relevant(func, n) for n in names)
+
+    def _avoid(self) -> bool:
+        """Record one suppressed edge; returns True for use in guards."""
+        if self.rstats is not None:
+            self.rstats.alias_edges_avoided += 1
+        return True
 
     # -- vertex helpers ----------------------------------------------------
 
@@ -150,14 +176,18 @@ class _AliasBuilder:
         objects = self._objects(func)
         fn = self.program.functions[func]
         for param in fn.params:
-            if param in objects:
+            if param in objects and self._keep(func, param):
                 self._occur(clone_key, param, 0)
         for node in cfet.nodes.values():
             self._build_node(clone_key, func, node, objects)
             if node.is_leaf:
-                if node.return_var is not None and node.return_var in objects:
+                if (
+                    node.return_var is not None
+                    and node.return_var in objects
+                    and self._keep(func, node.return_var)
+                ):
                     self._occur(clone_key, node.return_var, node.node_id)
-                if EXC_REGISTER in objects:
+                if EXC_REGISTER in objects and self._keep(func, EXC_REGISTER):
                     self._occur(clone_key, EXC_REGISTER, node.node_id)
 
     def _build_node(self, clone_key, func, node, objects) -> None:
@@ -168,6 +198,9 @@ class _AliasBuilder:
                 self._build_assign(clone_key, func, node, stmt, objects, here)
             elif isinstance(stmt, ast.FieldStore):
                 if stmt.base in objects and stmt.value in objects:
+                    if not self._keep(func, stmt.base, stmt.value):
+                        self._avoid()
+                        continue
                     self._occur(clone_key, stmt.base, node.node_id)
                     self._occur(clone_key, stmt.value, node.node_id)
                     graph.add_edge(
@@ -177,7 +210,7 @@ class _AliasBuilder:
                         here,
                     )
             elif isinstance(stmt, ast.Event):
-                if stmt.base in objects:
+                if stmt.base in objects and self._keep(func, stmt.base):
                     self._occur(clone_key, stmt.base, node.node_id)
                     self.result.events.append(
                         EventOccurrence(
@@ -190,6 +223,8 @@ class _AliasBuilder:
                         )
                     )
             elif isinstance(stmt, ast.ExcLink):
+                if not self._keep(func, stmt.target):
+                    continue
                 self._occur(clone_key, stmt.target, node.node_id)
                 self.exclinks.setdefault(clone_key, []).append(
                     (node.node_id, stmt)
@@ -200,6 +235,11 @@ class _AliasBuilder:
         target, value = stmt.target, stmt.value
         if isinstance(value, ast.New):
             if target not in objects:
+                return
+            # Tracked-type allocations are relevance seeds, so this only
+            # ever suppresses untracked allocations in sliced-away code.
+            if not self._keep(func, target):
+                self._avoid()
                 return
             self._occur(clone_key, target, node.node_id)
             obj = self.obj_vertex(value.site, clone_key, node.node_id)
@@ -218,6 +258,9 @@ class _AliasBuilder:
                 )
         elif isinstance(value, ast.VarRef):
             if target in objects and value.name in objects:
+                if not self._keep(func, target, value.name):
+                    self._avoid()
+                    return
                 self._occur(clone_key, target, node.node_id)
                 self._occur(clone_key, value.name, node.node_id)
                 graph.add_edge(
@@ -228,6 +271,9 @@ class _AliasBuilder:
                 )
         elif isinstance(value, ast.FieldLoad):
             if target in objects and value.base in objects:
+                if not self._keep(func, target, value.base):
+                    self._avoid()
+                    return
                 self._occur(clone_key, target, node.node_id)
                 self._occur(clone_key, value.base, node.node_id)
                 graph.add_edge(
@@ -239,12 +285,12 @@ class _AliasBuilder:
         elif isinstance(value, ast.NullLit):
             # No edge (null carries no object), but the occurrence exists:
             # Figure 5b's out0 comes from `out = null` in block 0.
-            if target in objects:
+            if target in objects and self._keep(func, target):
                 self._occur(clone_key, target, node.node_id)
         elif isinstance(value, ast.Call):
             # Return-value edges are added during call processing; here we
             # only register the occurrence of an object-typed LHS.
-            if target in objects:
+            if target in objects and self._keep(func, target):
                 self._occur(clone_key, target, node.node_id)
 
     # -- artificial assign edges ---------------------------------------------
@@ -301,6 +347,12 @@ class _AliasBuilder:
                     and actual.name in caller_objects
                     and formal in callee_objects
                 ):
+                    if not (
+                        self._keep(clone.func, actual.name)
+                        and self._keep(record.callee, formal)
+                    ):
+                        self._avoid()
+                        continue
                     self._occur(caller_key, actual.name, record.node_id)
                     self._occur(child_key, formal, 0)
                     graph.add_edge(
@@ -311,11 +363,17 @@ class _AliasBuilder:
                     )
             # Value-return edges.
             if record.lhs is not None and record.lhs in caller_objects:
+                if not self._keep(clone.func, record.lhs):
+                    self._avoid()
+                    continue
                 self._occur(caller_key, record.lhs, record.node_id)
                 for leaf in self.icfet.cfets[record.callee].leaves:
                     if leaf.return_var is None:
                         continue
                     if leaf.return_var not in callee_objects:
+                        continue
+                    if not self._keep(record.callee, leaf.return_var):
+                        self._avoid()
                         continue
                     graph.add_edge(
                         self.var_vertex(child_key, leaf.return_var, leaf.node_id),

@@ -50,18 +50,31 @@ def build_dataflow_graph(
     icfet: Icfet,
     alias_result: AliasGraphResult,
     fsms_by_type: dict[str, FSM],
+    relevance=None,
+    rstats=None,
 ) -> DataflowGraphResult:
-    """Generate the phase-2 program graph over the clone forest."""
-    builder = _DataflowBuilder(icfet, alias_result, fsms_by_type)
+    """Generate the phase-2 program graph over the clone forest.
+
+    With ``relevance`` (a :class:`repro.sa.relevance.RelevanceInfo`),
+    clones of flow-irrelevant functions -- subtrees that can neither
+    allocate a tracked type nor perform a tracked event -- are not built;
+    calls into them become step-over cf edges, the exact encoding already
+    used for extern callees.  ``rstats`` counts the skips.
+    """
+    builder = _DataflowBuilder(icfet, alias_result, fsms_by_type,
+                               relevance, rstats)
     builder.run()
     return builder.result
 
 
 class _DataflowBuilder:
-    def __init__(self, icfet, alias_result, fsms_by_type):
+    def __init__(self, icfet, alias_result, fsms_by_type,
+                 relevance=None, rstats=None):
         self.icfet = icfet
         self.alias = alias_result
         self.fsms_by_type = fsms_by_type
+        self.relevance = relevance
+        self.rstats = rstats
         self.result = DataflowGraphResult(ProgramGraph())
         # (clone_key, node_id, stmt_index) -> EventOccurrence
         self.event_at = {
@@ -95,10 +108,22 @@ class _DataflowBuilder:
             self._build_clone(clone_key, clone, is_root=clone_key in root_keys)
         self._seed_objects()
 
+    def _flow_irrelevant(self, func: str) -> bool:
+        return (
+            self.relevance is not None
+            and not self.relevance.func_flow_relevant(func)
+        )
+
     def _build_clone(self, clone_key, clone, is_root: bool) -> None:
         ctx, func = clone_key
         cfet = self.icfet.cfets.get(func)
         if cfet is None:
+            return
+        if self._flow_irrelevant(func):
+            # No tracked allocation or event anywhere in this subtree:
+            # every caller steps over it, so none of its vertices exist.
+            if self.rstats is not None:
+                self.rstats.clones_skipped += 1
             return
         child_of = {record.cid: child for record, child in clone.calls}
         for node in cfet.nodes.values():
@@ -107,6 +132,15 @@ class _DataflowBuilder:
             # Intra-node: segment k ends at call k (if one exists).
             for k, record in enumerate(calls):
                 child_key = child_of.get(record.cid)
+                if child_key is not None and self._flow_irrelevant(
+                    record.callee
+                ):
+                    # Irrelevant subtree: step over exactly like an extern
+                    # callee -- the (C, I[0, leaf], R) triple the through
+                    # path would acquire cancels to this same encoding.
+                    child_key = None
+                    if self.rstats is not None:
+                        self.rstats.calls_stepped_over += 1
                 src = self.pt(clone_key, node.node_id, k)
                 if child_key is None:
                     # Extern or depth-capped callee: step over the call.

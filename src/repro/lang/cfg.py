@@ -30,8 +30,19 @@ class BasicBlock:
 
     @property
     def successors(self) -> tuple[int, ...]:
+        """Successor block ids; never contains None.
+
+        A conditional block under construction (or a hand-built one) may
+        have only one arm wired up; filtering here keeps every traversal
+        -- edge_count, the dataflow solvers -- total instead of crashing
+        on a half-initialised terminator.
+        """
         if self.branch_cond is not None:
-            return (self.true_target, self.false_target)
+            return tuple(
+                t
+                for t in (self.true_target, self.false_target)
+                if t is not None
+            )
         if self.goto_target is not None:
             return (self.goto_target,)
         return ()

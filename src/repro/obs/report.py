@@ -24,6 +24,7 @@ REPORT_VERSION = 1
 KNOWN_SPANS = (
     "closure", "iteration", "wave", "pair-compute",
     "prefetch", "spill", "repartition", "smt-solve",
+    "sa-fold", "sa-dse", "sa-relevance", "sa-compress",
 )
 
 _TIMING_KEYS = ("preprocess_s", "computation_s", "total_s")
@@ -55,6 +56,9 @@ def build_run_report(run, subject: str | None = None) -> dict:
         "histograms": snapshot["histograms"],
         "warnings": len(run.report.warnings),
     }
+    reduction = getattr(run, "reduction", None)
+    if reduction is not None:
+        report["reduction"] = reduction.as_dict()
     if subject is not None:
         report["subject"] = subject
     return report
@@ -104,6 +108,14 @@ def validate_run_report(report) -> list[str]:
             errors.extend(_validate_histogram(name, hist))
     if not isinstance(report.get("warnings"), int):
         errors.append("warnings is not an integer")
+    reduction = report.get("reduction")
+    if reduction is not None:  # optional: present when --reduce was on
+        if not isinstance(reduction, dict):
+            errors.append("reduction section is not an object")
+        else:
+            for name, value in reduction.items():
+                if not isinstance(value, int):
+                    errors.append(f"reduction.{name} is not an integer")
     return errors
 
 

@@ -1,0 +1,45 @@
+"""Pre-closure static analysis: dataflow framework, reductions, lint.
+
+The closure computation dominates Grapple's cost (paper §2.2, §4), so
+everything here runs *before* the engine to shrink its input:
+
+* :mod:`repro.sa.framework` -- the lattice-parameterized worklist solver
+  over :class:`repro.lang.cfg.ControlFlowGraph`;
+* :mod:`repro.sa.constprop` -- constant propagation + branch folding;
+* :mod:`repro.sa.liveness` -- liveness + dead-store elimination;
+* :mod:`repro.sa.relevance` -- interprocedural FSM-relevance slicing;
+* :mod:`repro.sa.reduce` -- reduction counters + cf-chain compression;
+* :mod:`repro.sa.lint` -- the mini-language linter on the same framework.
+"""
+
+from repro.sa.framework import (
+    DataflowProblem,
+    DataflowSolution,
+    UNREACHED,
+    predecessors,
+    reachable_blocks,
+    solve,
+)
+from repro.sa.constprop import ConstProp, fold_constant_branches
+from repro.sa.liveness import Liveness, eliminate_dead_stores
+from repro.sa.lint import run_lint
+from repro.sa.reduce import ReductionStats, compress_cf_chains
+from repro.sa.relevance import RelevanceInfo, compute_relevance
+
+__all__ = [
+    "ConstProp",
+    "DataflowProblem",
+    "DataflowSolution",
+    "Liveness",
+    "ReductionStats",
+    "RelevanceInfo",
+    "UNREACHED",
+    "compress_cf_chains",
+    "compute_relevance",
+    "eliminate_dead_stores",
+    "fold_constant_branches",
+    "predecessors",
+    "reachable_blocks",
+    "run_lint",
+    "solve",
+]

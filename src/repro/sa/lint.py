@@ -1,0 +1,303 @@
+"""A mini-language linter on the :mod:`repro.sa` dataflow framework.
+
+Four diagnostic kinds, all deterministic and ordered
+(:meth:`repro.checkers.report.LintReport.sorted`):
+
+* ``unreachable-code`` -- statements following a ``return``/``throw`` in
+  the same block (surface AST, before any lowering touches bodies);
+* ``constant-branch`` -- an ``if`` condition constant propagation proves
+  always true/false (user-written conditions only; compiler-introduced
+  ``__``-registers from exception lowering are excluded);
+* ``use-before-init`` -- a variable read on some structural path before
+  any assignment (forward must-assignment, join = intersection);
+* ``escape-without-close`` -- an allocation of a checker-tracked type
+  that can reach function exit without any tracked FSM event, without
+  being returned, stored, passed on, or copied (forward may-analysis,
+  join = union).
+
+Unlike the checkers, lint consults no path constraints -- it is the
+fast, flow-sensitive-but-path-insensitive first line of feedback.
+"""
+
+from __future__ import annotations
+
+from repro.checkers.fsm import FSM
+from repro.checkers.report import Diagnostic, LintReport
+from repro.lang import ast
+from repro.lang.cfg import build_cfg
+from repro.lang.parser import parse_program
+from repro.lang.transform import (
+    lower_exceptions,
+    normalize_calls,
+    unroll_loops,
+)
+from repro.sa.constprop import branch_verdicts
+from repro.sa.framework import DataflowProblem, solve
+from repro.sa.liveness import expr_uses
+
+KIND_UNREACHABLE = "unreachable-code"
+KIND_CONSTANT_BRANCH = "constant-branch"
+KIND_USE_BEFORE_INIT = "use-before-init"
+KIND_ESCAPE = "escape-without-close"
+
+
+def _internal(name: str) -> bool:
+    """Compiler-introduced register (lowering/normalisation temporary)."""
+    return name.startswith("__")
+
+
+def run_lint(source: str, fsms: list[FSM] | None = None,
+             unroll: int = 1) -> LintReport:
+    """Lint a source program; ``fsms`` enable the escape analysis."""
+    report = LintReport()
+    surface = parse_program(source)
+    for name, fn in surface.functions.items():
+        _lint_unreachable(name, fn.body, report)
+
+    core = parse_program(source)
+    normalize_calls(core)
+    unroll_loops(core, unroll)
+    lower_exceptions(core)
+
+    tracked_types: set[str] = set()
+    tracked_events: set[str] = set()
+    for fsm in fsms or ():
+        tracked_types |= set(fsm.types)
+        tracked_events |= fsm.events()
+
+    for name, fn in core.functions.items():
+        _lint_constant_branches(name, fn, report)
+        _lint_use_before_init(name, fn, report)
+        if tracked_types:
+            _lint_escapes(name, fn, tracked_types, tracked_events, report)
+    return report
+
+
+# -- unreachable code (surface AST) ----------------------------------------
+
+
+def _lint_unreachable(func: str, body: list, report: LintReport) -> None:
+    terminated = False
+    for stmt in body:
+        if terminated:
+            report.add(
+                Diagnostic(
+                    kind=KIND_UNREACHABLE,
+                    func=func,
+                    line=getattr(stmt, "line", 0),
+                    subject=type(stmt).__name__,
+                    message="statement is unreachable (follows a"
+                    " return/throw in the same block)",
+                )
+            )
+            break  # one diagnostic per dead region, not per statement
+        if isinstance(stmt, (ast.Return, ast.Throw)):
+            terminated = True
+        elif isinstance(stmt, ast.If):
+            _lint_unreachable(func, stmt.then_body, report)
+            _lint_unreachable(func, stmt.else_body, report)
+        elif isinstance(stmt, ast.While):
+            _lint_unreachable(func, stmt.body, report)
+        elif isinstance(stmt, ast.TryCatch):
+            _lint_unreachable(func, stmt.try_body, report)
+            _lint_unreachable(func, stmt.catch_body, report)
+
+
+# -- constant branches (core AST + constprop) ------------------------------
+
+
+def _mentions_internal(expr) -> bool:
+    return any(_internal(name) for name in expr_uses(expr))
+
+
+def _lint_constant_branches(func: str, fn: ast.Function,
+                            report: LintReport) -> None:
+    verdicts = branch_verdicts(fn)
+    for stmt in ast.walk_statements(fn.body):
+        if not isinstance(stmt, ast.If):
+            continue
+        verdict = verdicts.get(id(stmt.cond))
+        if verdict is None or _mentions_internal(stmt.cond):
+            continue
+        report.add(
+            Diagnostic(
+                kind=KIND_CONSTANT_BRANCH,
+                func=func,
+                line=stmt.line,
+                subject="condition",
+                message=f"condition is always"
+                f" {'true' if verdict else 'false'}; the"
+                f" {'else' if verdict else 'then'} branch never runs",
+            )
+        )
+
+
+# -- use before init (forward must-assignment) -----------------------------
+
+
+class _DefiniteAssignment(DataflowProblem):
+    direction = "forward"
+
+    def __init__(self, params: frozenset):
+        self.params = params
+
+    def boundary(self, cfg):
+        return self.params
+
+    def join(self, a: frozenset, b: frozenset) -> frozenset:
+        return a & b
+
+    def transfer(self, block, assigned: frozenset) -> frozenset:
+        out = set(assigned)
+        for stmt in block.statements:
+            if isinstance(stmt, ast.Assign):
+                out.add(stmt.target)
+            elif isinstance(stmt, ast.ExcLink):
+                out.add(stmt.target)
+        return frozenset(out)
+
+
+def _lint_use_before_init(func: str, fn: ast.Function,
+                          report: LintReport) -> None:
+    cfg = build_cfg(fn)
+    problem = _DefiniteAssignment(frozenset(fn.params))
+    solution = solve(cfg, problem)
+    cond_lines = {
+        id(stmt.cond): stmt.line
+        for stmt in ast.walk_statements(fn.body)
+        if isinstance(stmt, ast.If)
+    }
+    flagged: set[str] = set()
+
+    def check(expr, assigned: set, line: int) -> None:
+        for name in sorted(expr_uses(expr)):
+            if name in assigned or _internal(name) or name in flagged:
+                continue
+            flagged.add(name)
+            report.add(
+                Diagnostic(
+                    kind=KIND_USE_BEFORE_INIT,
+                    func=func,
+                    line=line,
+                    subject=name,
+                    message=f"variable {name!r} may be read before"
+                    " assignment",
+                )
+            )
+
+    for block_id in sorted(cfg.blocks):
+        block = cfg.blocks[block_id]
+        incoming = solution.block_in.get(block_id)
+        if incoming is None:
+            continue  # structurally unreachable
+        assigned = set(incoming)
+        for stmt in block.statements:
+            if isinstance(stmt, ast.Assign):
+                check(stmt.value, assigned, stmt.line)
+                assigned.add(stmt.target)
+            elif isinstance(stmt, ast.ExcLink):
+                assigned.add(stmt.target)
+            elif isinstance(stmt, (ast.FieldStore, ast.Event, ast.ExprStmt)):
+                for name in sorted(_stmt_reads(stmt)):
+                    check(ast.VarRef(name), assigned, stmt.line)
+        if block.branch_cond is not None:
+            check(
+                block.branch_cond,
+                assigned,
+                cond_lines.get(id(block.branch_cond), 0),
+            )
+        if block.return_value is not None:
+            check(block.return_value, assigned, 0)
+
+
+def _stmt_reads(stmt) -> set:
+    if isinstance(stmt, ast.FieldStore):
+        return {stmt.base, stmt.value}
+    if isinstance(stmt, ast.Event):
+        reads = {stmt.base}
+        for arg in stmt.args:
+            expr_uses(arg, reads)
+        return reads
+    if isinstance(stmt, ast.ExprStmt):
+        return expr_uses(stmt.call)
+    return set()
+
+
+# -- tracked-object escape (forward may-analysis) --------------------------
+
+
+class _FreshObjects(DataflowProblem):
+    """May-analysis: ``{(var, alloc_line)}`` allocated-and-untouched."""
+
+    direction = "forward"
+
+    def __init__(self, tracked_types: set[str], tracked_events: set[str]):
+        self.tracked_types = tracked_types
+        self.tracked_events = tracked_events
+
+    def boundary(self, cfg):
+        return frozenset()
+
+    def join(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+    def _drop(self, fresh: set, var: str) -> None:
+        for entry in [e for e in fresh if e[0] == var]:
+            fresh.discard(entry)
+
+    def transfer(self, block, value: frozenset) -> frozenset:
+        fresh = set(value)
+        for stmt in block.statements:
+            if isinstance(stmt, ast.Assign):
+                if isinstance(stmt.value, ast.New):
+                    self._drop(fresh, stmt.target)
+                    if stmt.value.type_name in self.tracked_types:
+                        fresh.add((stmt.target, stmt.line, stmt.value.type_name))
+                    continue
+                # Copying the reference hands responsibility elsewhere;
+                # passing it to a call might close it.  Both suppress.
+                if isinstance(stmt.value, ast.VarRef):
+                    self._drop(fresh, stmt.value.name)
+                elif isinstance(stmt.value, ast.Call):
+                    for name in expr_uses(stmt.value):
+                        self._drop(fresh, name)
+                self._drop(fresh, stmt.target)
+            elif isinstance(stmt, ast.Event):
+                if stmt.method in self.tracked_events:
+                    self._drop(fresh, stmt.base)
+            elif isinstance(stmt, ast.FieldStore):
+                self._drop(fresh, stmt.value)
+                self._drop(fresh, stmt.base)
+            elif isinstance(stmt, ast.ExprStmt):
+                for name in expr_uses(stmt.call):
+                    self._drop(fresh, name)
+            elif isinstance(stmt, ast.ExcLink):
+                self._drop(fresh, stmt.target)
+        if block.return_value is not None:
+            for name in expr_uses(block.return_value):
+                self._drop(fresh, name)
+        return frozenset(fresh)
+
+
+def _lint_escapes(func: str, fn: ast.Function, tracked_types: set[str],
+                  tracked_events: set[str], report: LintReport) -> None:
+    cfg = build_cfg(fn)
+    problem = _FreshObjects(tracked_types, tracked_events)
+    solution = solve(cfg, problem)
+    leaked: set = set()
+    for block in cfg.exit_blocks:
+        final = solution.block_out.get(block.block_id)
+        if final is None:
+            continue
+        leaked |= set(final)
+    for var, line, type_name in sorted(leaked):
+        report.add(
+            Diagnostic(
+                kind=KIND_ESCAPE,
+                func=func,
+                line=line,
+                subject=var,
+                message=f"{type_name} in {var!r} can reach function exit"
+                " without a tracked event (possible resource leak)",
+            )
+        )

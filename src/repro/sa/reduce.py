@@ -1,0 +1,164 @@
+"""Reduction bookkeeping and the cf-chain compressor.
+
+:class:`ReductionStats` counts what every pre-closure pass removed; the
+pipeline threads one instance through the frontend, both graph builders
+and the compressor, exports it in the run report's ``reduction`` section
+and prints it under ``--stats``.
+
+:func:`compress_cf_chains` is the last reduction: it contracts linear
+control-flow chains ``a -> b -> c`` of the phase-2 graph (in-degree and
+out-degree exactly 1 at ``b``, all labels counted) into a single edge
+whose encoding is :func:`repro.cfet.encoding.merge` of the parts -- the
+exact operation the closure would have performed at ``b`` -- so every
+surviving state fact carries a byte-identical encoding.  Guards:
+
+* ``b`` must not be an exit vertex, an object/seed vertex, or carry any
+  non-cf edge (in-degree counts every label).
+* Only one side of the chain may carry FSM events.  Two event segments
+  must stay separate: the grammar applies an edge's events in statement
+  order within one compose, so concatenating them would change the order
+  and the per-edge sticky-error boundary.
+* When the *first* edge carries events, the second must be constraint-free
+  (``C`` elements and ``[i, i]`` intervals only -- no branch literals, no
+  return equations).  The grammar checks an event's alias feasibility
+  against the merged state+cf encoding, so a constraining suffix would
+  strengthen the very query the unreduced closure asks at ``a -> b``.
+  (Call elements only equate *fresh* callee-instance symbols with caller
+  expressions, which can never flip satisfiability; return elements bind
+  caller-visible result/thrown symbols and are excluded.)
+* If a merge overflows :data:`repro.cfet.encoding.MAX_ELEMENTS` the chain
+  is kept as-is (no witness may be silently dropped), and a chain whose
+  contraction would collide with an existing ``a -> c`` edge or its event
+  metadata is skipped rather than conflated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+from repro.cfet import encoding as enc
+from repro.grammar.dataflow import CF
+
+
+@dataclass
+class ReductionStats:
+    """Counters for every pre-closure reduction pass."""
+
+    branches_folded: int = 0
+    dead_stores_removed: int = 0
+    alias_vars_sliced: int = 0
+    functions_sliced: int = 0
+    alias_edges_avoided: int = 0
+    clones_skipped: int = 0
+    calls_stepped_over: int = 0
+    cf_chains_merged: int = 0
+    cf_edges_removed: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def total_removals(self) -> int:
+        return sum(getattr(self, f.name) for f in fields(self))
+
+    def summary(self) -> str:
+        return (
+            f"branches folded {self.branches_folded}"
+            f" · dead stores {self.dead_stores_removed}"
+            f" · alias vars sliced {self.alias_vars_sliced}"
+            f" ({self.functions_sliced} whole functions,"
+            f" {self.alias_edges_avoided} edges avoided)"
+            f" · clones skipped {self.clones_skipped}"
+            f" ({self.calls_stepped_over} calls stepped over)"
+            f" · cf chains merged {self.cf_chains_merged}"
+            f" (-{self.cf_edges_removed} edges)"
+        )
+
+
+def _constraint_free(encoding: tuple) -> bool:
+    """True when decoding the encoding adds no literals or equations."""
+    for elem in encoding:
+        if elem[0] == enc.CALL:
+            continue  # equations over fresh callee instances only
+        if elem[0] == enc.INTERVAL and elem[2] == elem[3]:
+            continue  # single-node interval: no branch literal
+        return False
+    return True
+
+
+def compress_cf_chains(graph_result, icfet, rstats: ReductionStats) -> None:
+    """Contract linear cf chains of the phase-2 graph in place."""
+    graph = graph_result.graph
+    events_meta = graph_result.events_meta
+    cf_id = graph.labels.intern(CF)
+    protected = set(graph_result.exit_vertices)
+    protected |= set(graph_result.objects)
+
+    # Global degree maps over *all* labels.
+    in_slots: dict[int, list] = {}
+    out_count: dict[int, int] = {}
+    for src, targets in graph.edges.items():
+        out_count[src] = len(targets)
+        for (dst, label_id) in targets:
+            in_slots.setdefault(dst, []).append((src, label_id))
+
+    changed = True
+    while changed:
+        changed = False
+        for b in sorted(in_slots):
+            if b in protected:
+                continue
+            slots_in = in_slots.get(b)
+            if slots_in is None or len(slots_in) != 1:
+                continue
+            if out_count.get(b, 0) != 1:
+                continue
+            a, in_label = slots_in[0]
+            if in_label != cf_id or a == b:
+                continue
+            ((c, out_label),) = graph.edges.get(b, {}).keys()
+            if out_label != cf_id or c == b or c == a:
+                continue
+            e1_encs = graph.edges[a][(b, cf_id)]
+            e2_encs = graph.edges[b][(c, cf_id)]
+            ev1 = events_meta.get((a, b))
+            ev2 = events_meta.get((b, c))
+            if ev1 and ev2:
+                continue
+            if ev1 and not all(_constraint_free(e) for e in e2_encs):
+                continue
+            if (c, cf_id) in graph.edges.get(a, {}):
+                continue  # contraction would conflate parallel edges
+            if (ev1 or ev2) and (a, c) in events_meta:
+                continue
+            merged = set()
+            overflow = False
+            for e1 in e1_encs:
+                for e2 in e2_encs:
+                    m = enc.merge(e1, e2, icfet)
+                    if m is None:
+                        overflow = True
+                        break
+                    merged.add(m)
+                if overflow:
+                    break
+            if overflow:
+                continue
+
+            # Rewire: drop a->b and b->c, add a->c.
+            removed = len(e1_encs) + len(e2_encs)
+            del graph.edges[a][(b, cf_id)]
+            del graph.edges[b]
+            graph.edges[a][(c, cf_id)] = merged
+            events_meta.pop((a, b), None)
+            events_meta.pop((b, c), None)
+            moved = ev1 or ev2
+            if moved:
+                events_meta[(a, c)] = moved
+            # Degree maintenance.
+            del in_slots[b]
+            out_count.pop(b, None)
+            slots_c = in_slots[c]
+            slots_c[slots_c.index((b, cf_id))] = (a, cf_id)
+            rstats.cf_chains_merged += 1
+            rstats.cf_edges_removed += removed - len(merged)
+            changed = True

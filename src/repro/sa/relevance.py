@@ -1,0 +1,193 @@
+"""Interprocedural FSM-relevance slicing (tentpole pass 3).
+
+Walks backward from the checker specs' tracked types and events to decide
+which variables, fields and functions can possibly affect a tracked
+object, so the graph generators skip everything else *before* the closure
+ever sees an edge.
+
+Two levels, with two distinct safety arguments:
+
+**Alias-level variable relevance.**  Build an undirected adjacency over
+``(func, var)`` nodes and field names: assignments link their two
+variables, field stores/loads link both the base and the value/target to
+the field node, parameter passing links actuals to formals, returns link
+callee return variables to caller LHSs, and ``ExcLink`` links the catch
+target to the callee's ``__exc`` register.  Every edge the alias-graph
+builder can emit connects vertices whose names are adjacent here (field
+edges via the shared field node), and an allocation's object vertex
+attaches to its target variable -- so the name-level connected component
+of a variable *over-approximates* the alias-graph connected component of
+all its vertices.  Seeding from tracked-type allocation targets therefore
+yields: any alias-graph edge with an irrelevant endpoint lies in a
+component containing no tracked object.  The closure grammar only
+composes edges sharing a vertex, so facts computed inside such a
+component can never meet a tracked object's flows-to facts, never seed a
+state edge, and never answer an event's alias query (the phase-2 index
+only keeps flows-to edges out of tracked objects).  Dropping those edges
+changes no retained fact.
+
+**Flow-level (phase 2) function relevance.**  A function subtree is
+relevant when it allocates a tracked type, performs a tracked-FSM event
+on a relevant base, or (transitively) calls a relevant function.  Calls
+into irrelevant subtrees are built as step-over cf edges -- exactly the
+encoding the builder already uses for extern callees -- instead of
+call/return edges plus the callee clone.  A state fact traversing the
+through-callee path acquires ``(C cid, I[0, leaf], R rid)``, which the
+encoding algebra cancels to nothing once the callee path completes
+(:func:`repro.cfet.encoding._normalize` case 3), leaving the same
+encoding as the single-interval step-over; at least one callee leaf is
+always feasible because the leaves' branch constraints partition the
+input space.  Irrelevant subtrees contain no tracked events or
+allocations by construction, so no state change and no seed is lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang import ast
+from repro.lang.callgraph import CallGraph
+from repro.lang.transform import EXC_REGISTER
+from repro.lang.types import ObjectInfo
+
+
+@dataclass
+class RelevanceInfo:
+    """Which names and functions can affect a tracked object."""
+
+    relevant_vars: set = field(default_factory=set)  # (func, var)
+    relevant_fields: set = field(default_factory=set)
+    #: Functions whose clone subtrees phase 2 must build.
+    flow_relevant_funcs: set = field(default_factory=set)
+    #: Functions with at least one relevant object variable (phase 1).
+    alias_relevant_funcs: set = field(default_factory=set)
+
+    def var_relevant(self, func: str, var: str) -> bool:
+        return (func, var) in self.relevant_vars
+
+    def func_flow_relevant(self, func: str) -> bool:
+        return func in self.flow_relevant_funcs
+
+
+def compute_relevance(
+    program: ast.Program,
+    callgraph: CallGraph,
+    info: ObjectInfo,
+    tracked_types: set[str],
+    tracked_events: set[str],
+) -> RelevanceInfo:
+    """Backward slice from tracked types/events to relevant names."""
+    adjacency: dict = {}
+    seeds: set = set()
+
+    def link(a, b) -> None:
+        adjacency.setdefault(a, set()).add(b)
+        adjacency.setdefault(b, set()).add(a)
+
+    return_vars: dict[str, set[str]] = {}
+    for name, fn in program.functions.items():
+        returns = return_vars.setdefault(name, set())
+        for stmt in ast.walk_statements(fn.body):
+            if isinstance(stmt, ast.Return) and isinstance(
+                stmt.value, ast.VarRef
+            ):
+                returns.add(stmt.value.name)
+
+    def link_call(func: str, call: ast.Call, lhs: str | None) -> None:
+        callee = program.functions.get(call.func)
+        if callee is None:
+            return
+        for formal, actual in zip(callee.params, call.args):
+            if isinstance(actual, ast.VarRef):
+                link(("v", func, actual.name), ("v", call.func, formal))
+        if lhs is not None:
+            for ret in return_vars.get(call.func, ()):
+                link(("v", func, lhs), ("v", call.func, ret))
+
+    for name, fn in program.functions.items():
+        for stmt in ast.walk_statements(fn.body):
+            if isinstance(stmt, ast.Assign):
+                value = stmt.value
+                if isinstance(value, ast.New):
+                    if value.type_name in tracked_types:
+                        seeds.add(("v", name, stmt.target))
+                elif isinstance(value, ast.VarRef):
+                    link(("v", name, stmt.target), ("v", name, value.name))
+                elif isinstance(value, ast.FieldLoad):
+                    link(("v", name, stmt.target), ("fld", value.fieldname))
+                    link(("v", name, value.base), ("fld", value.fieldname))
+                elif isinstance(value, ast.Call):
+                    link_call(name, value, stmt.target)
+            elif isinstance(stmt, ast.FieldStore):
+                link(("v", name, stmt.value), ("fld", stmt.fieldname))
+                link(("v", name, stmt.base), ("fld", stmt.fieldname))
+            elif isinstance(stmt, ast.ExcLink):
+                link(("v", name, stmt.target), ("v", stmt.callee, EXC_REGISTER))
+            elif isinstance(stmt, ast.ExprStmt):
+                link_call(name, stmt.call, None)
+
+    # Flood from the tracked allocation targets.
+    reached: set = set()
+    stack = [node for node in seeds]
+    while stack:
+        node = stack.pop()
+        if node in reached:
+            continue
+        reached.add(node)
+        stack.extend(adjacency.get(node, ()))
+
+    out = RelevanceInfo()
+    for node in reached:
+        if node[0] == "v":
+            out.relevant_vars.add((node[1], node[2]))
+        else:
+            out.relevant_fields.add(node[1])
+    for func, vars_ in info.object_vars.items():
+        if any((func, v) in out.relevant_vars for v in vars_):
+            out.alias_relevant_funcs.add(func)
+
+    out.flow_relevant_funcs = _flow_relevant(
+        program, callgraph, tracked_types, tracked_events, out
+    )
+    return out
+
+
+def _flow_relevant(
+    program: ast.Program,
+    callgraph: CallGraph,
+    tracked_types: set[str],
+    tracked_events: set[str],
+    rel: RelevanceInfo,
+) -> set[str]:
+    """Functions whose subtree can allocate or step a tracked object."""
+    local: set[str] = set()
+    for name, fn in program.functions.items():
+        for stmt in ast.walk_statements(fn.body):
+            if (
+                isinstance(stmt, ast.Assign)
+                and isinstance(stmt.value, ast.New)
+                and stmt.value.type_name in tracked_types
+            ):
+                local.add(name)
+                break
+            if (
+                isinstance(stmt, ast.Event)
+                and stmt.method in tracked_events
+                and rel.var_relevant(name, stmt.base)
+            ):
+                local.add(name)
+                break
+
+    # Propagate relevance from callees to callers to fixpoint (reverse
+    # call-graph reachability; handles recursion/SCCs by iteration).
+    relevant = set(local)
+    changed = True
+    while changed:
+        changed = False
+        for caller, callees in callgraph.edges.items():
+            if caller in relevant:
+                continue
+            if any(callee in relevant for callee in callees):
+                relevant.add(caller)
+                changed = True
+    return relevant

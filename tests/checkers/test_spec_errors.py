@@ -1,0 +1,91 @@
+"""Spec-parser diagnostics: line numbers and structural rejection."""
+
+import pytest
+
+from repro.checkers.spec import SpecError, parse_fsm_specs
+
+GOOD = """fsm io
+types FileWriter
+initial Open
+accepting Closed
+error Error
+
+Open   -write->  Open
+Open   -close->  Closed
+Closed -write->  Error
+"""
+
+
+def test_good_spec_still_parses():
+    (fsm,) = parse_fsm_specs(GOOD)
+    assert fsm.name == "io"
+    assert fsm.step("Open", "close") == "Closed"
+
+
+def test_missing_required_key_names_the_block_line():
+    with pytest.raises(SpecError, match=r"line 1:.*missing 'initial'"):
+        parse_fsm_specs("fsm t\ntypes T\naccepting A\nA -go-> A\n")
+
+
+def test_duplicate_fsm_name_rejected_with_both_lines():
+    text = GOOD + "\nfsm io\ntypes T\ninitial A\naccepting A\nA -go-> A\n"
+    with pytest.raises(
+        SpecError, match=r"duplicate fsm name 'io'.*line 1"
+    ):
+        parse_fsm_specs(text)
+
+
+def test_duplicate_transition_rejected():
+    text = """fsm t
+types T
+initial A
+accepting B
+A -go-> B
+A -go-> A
+"""
+    with pytest.raises(
+        SpecError, match=r"line 6: duplicate transition 'A' -go->"
+    ):
+        parse_fsm_specs(text)
+
+
+def test_transition_from_undeclared_state_rejected():
+    text = """fsm t
+types T
+initial A
+accepting B
+A -go-> B
+Ghost -go-> B
+"""
+    with pytest.raises(
+        SpecError, match=r"line 6:.*undeclared state 'Ghost'"
+    ):
+        parse_fsm_specs(text)
+
+
+def test_transition_target_counts_as_declared():
+    # B is only ever a target, but transitions *from* B are legal.
+    text = """fsm t
+types T
+initial A
+accepting C
+A -go-> B
+B -go-> C
+"""
+    (fsm,) = parse_fsm_specs(text)
+    assert fsm.step("B", "go") == "C"
+
+
+def test_fsm_level_errors_carry_the_block_line():
+    # make_fsm rejects the unknown accepting state; the SpecError wrapper
+    # must say where the block starts.
+    text = "\n\nfsm t\ntypes T\ninitial A\naccepting Ghost\nA -go-> A\n"
+    with pytest.raises(SpecError, match=r"line 3:"):
+        parse_fsm_specs(text)
+
+
+def test_transition_syntax_errors_keep_line_numbers():
+    with pytest.raises(SpecError, match=r"line 5:"):
+        parse_fsm_specs(
+            "fsm t\ntypes T\ninitial A\naccepting A\nA goes B\n"
+        )

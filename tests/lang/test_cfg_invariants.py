@@ -1,0 +1,141 @@
+"""Structural invariants of build_cfg, plus a random-program fuzz."""
+
+import random
+
+from repro.lang import ast
+from repro.lang.cfg import BasicBlock, build_cfg
+from repro.lang.parser import parse_program
+from repro.lang.transform import (
+    lower_exceptions,
+    normalize_calls,
+    unroll_loops,
+)
+
+
+def cfgs_of(source: str):
+    program = parse_program(source)
+    normalize_calls(program)
+    unroll_loops(program, 2)
+    lower_exceptions(program)
+    return {name: build_cfg(fn) for name, fn in program.functions.items()}
+
+
+def assert_invariants(cfg):
+    for block in cfg.blocks.values():
+        # Exactly one terminator shape.
+        shapes = [
+            block.branch_cond is not None,
+            block.goto_target is not None,
+            block.is_return,
+        ]
+        assert sum(shapes) <= 1, f"block {block.block_id} mixes terminators"
+        # A conditional block has both arms wired.
+        if block.branch_cond is not None:
+            assert block.true_target is not None
+            assert block.false_target is not None
+        # Every successor must exist.
+        for succ in block.successors:
+            assert succ in cfg.blocks
+        # Return blocks have no successors; non-returns that aren't the
+        # dangling tail of an all-paths-return If have some.
+        if block.is_return:
+            assert block.successors == ()
+    assert cfg.entry in cfg.blocks
+    assert cfg.exit_blocks, "every function must have an exit"
+    assert cfg.edge_count() == sum(
+        len(b.successors) for b in cfg.blocks.values()
+    )
+
+
+def test_straight_line():
+    (cfg,) = cfgs_of("func f(x) { var a = x; return a; }").values()
+    assert len(cfg.blocks) == 1
+    assert cfg.exit_blocks[0].return_value is not None
+
+
+def test_diamond_terminators():
+    (cfg,) = cfgs_of(
+        "func f(x) { var a = 0; if (x > 0) { a = 1; } else { a = 2; }"
+        " return a; }"
+    ).values()
+    assert_invariants(cfg)
+    branches = [b for b in cfg.blocks.values() if b.branch_cond is not None]
+    assert len(branches) == 1
+    assert cfg.edge_count() == 4  # 2 arms + 2 gotos into the join
+
+
+def test_all_paths_return_leaves_no_join():
+    (cfg,) = cfgs_of(
+        "func f(x) { if (x > 0) { return 1; } else { return 2; } }"
+    ).values()
+    assert_invariants(cfg)
+    assert len(cfg.exit_blocks) == 2
+
+
+def test_implicit_return_marked():
+    (cfg,) = cfgs_of("func f(x) { var a = x; }").values()
+    assert cfg.exit_blocks[0].is_return
+
+
+def test_lowered_exceptions_and_loops_keep_invariants():
+    for cfg in cfgs_of(
+        """
+        func boom(x) {
+            var e = new Error();
+            if (x > 0) { throw e; }
+            return x;
+        }
+        func f(x) {
+            var total = 0;
+            while (x > 0) {
+                x = x - 1;
+                total = total + 1;
+            }
+            try {
+                total = boom(total);
+            } catch (err) {
+                total = 0;
+            }
+            return total;
+        }
+        """
+    ).values():
+        assert_invariants(cfg)
+
+
+def _random_body(rng, depth: int) -> list[str]:
+    lines = [f"var v{depth}0 = {rng.randint(0, 9)};"]
+    for i in range(rng.randint(1, 4)):
+        roll = rng.random()
+        if roll < 0.3 and depth < 3:
+            then = " ".join(_random_body(rng, depth + 1))
+            if rng.random() < 0.5:
+                other = " ".join(_random_body(rng, depth + 1))
+                lines.append(
+                    f"if (x > {rng.randint(-3, 3)}) {{ {then} }}"
+                    f" else {{ {other} }}"
+                )
+            else:
+                lines.append(f"if (x < {rng.randint(-3, 3)}) {{ {then} }}")
+        elif roll < 0.4:
+            lines.append(f"return x + {rng.randint(0, 5)};")
+        else:
+            lines.append(f"var w{depth}{i} = x * {rng.randint(1, 4)};")
+    return lines
+
+
+def test_fuzz_random_programs_keep_invariants():
+    rng = random.Random(20260805)
+    for trial in range(60):
+        source = f"func f(x) {{ {' '.join(_random_body(rng, 0))} }}"
+        for cfg in cfgs_of(source).values():
+            assert_invariants(cfg)
+
+
+def test_successors_filters_half_wired_branch():
+    block = BasicBlock(7)
+    block.branch_cond = ast.BoolLit(True)
+    block.true_target = 3
+    assert block.successors == (3,)
+    block.false_target = 4
+    assert block.successors == (3, 4)

@@ -1,0 +1,128 @@
+"""Constant propagation and branch folding."""
+
+from repro.lang import ast
+from repro.lang.parser import parse_program
+from repro.sa.constprop import (
+    UNKNOWN,
+    branch_verdicts,
+    eval_expr,
+    fold_constant_branches,
+)
+
+
+def expr(text: str):
+    source = f"func f() {{ var probe = {text}; }}"
+    fn = parse_program(source).functions["f"]
+    return fn.body[0].value
+
+
+def test_eval_arithmetic_and_comparison():
+    assert eval_expr(expr("1 + 2 * 3"), {}) == 7
+    assert eval_expr(expr("x - 1"), {"x": 5}) == 4
+    assert eval_expr(expr("x > 0"), {"x": 5}) is True
+    assert eval_expr(expr("x > 0"), {}) is UNKNOWN
+
+
+def test_short_circuit_decides_with_one_unknown_side():
+    assert eval_expr(expr("x > 0 && y > 0"), {"x": -1}) is False
+    assert eval_expr(expr("x > 0 || y > 0"), {"x": 1}) is True
+    assert eval_expr(expr("x > 0 && y > 0"), {"x": 1}) is UNKNOWN
+
+
+def test_bool_int_not_conflated():
+    # In Python True == 1; the mini-language keeps the types apart.
+    cond = expr("x + 1")
+    assert eval_expr(cond, {"x": True}) is UNKNOWN
+
+
+def test_input_and_calls_are_opaque():
+    assert eval_expr(expr("input()"), {}) is UNKNOWN
+    assert eval_expr(expr("g(1)"), {}) is UNKNOWN
+
+
+FOLDABLE = """
+func f(x) {
+    var flag = 1;
+    var out = x;
+    if (flag > 0) {
+        out = out + 1;
+    } else {
+        out = 0;
+    }
+    return out;
+}
+"""
+
+
+def test_branch_verdicts_and_fold():
+    program = parse_program(FOLDABLE)
+    verdicts = branch_verdicts(program.functions["f"])
+    assert list(verdicts.values()) == [True]
+
+    folded = fold_constant_branches(program)
+    assert folded == 1
+    body = program.functions["f"].body
+    # The If is gone; the then-arm statement is inlined in its place.
+    assert not any(isinstance(s, ast.If) for s in body)
+    assert any(
+        isinstance(s, ast.Assign) and isinstance(s.value, ast.Binary)
+        for s in body
+    )
+    # Nothing further to fold on a second run.
+    assert fold_constant_branches(program) == 0
+
+
+def test_fold_cascades_through_dependent_branches():
+    program = parse_program(
+        """
+        func f() {
+            var a = 1;
+            var b = 0;
+            if (a > 0) {
+                b = 2;
+            }
+            var c = 0;
+            if (b == 2) {
+                c = 3;
+            }
+            return c;
+        }
+        """
+    )
+    assert fold_constant_branches(program) == 2
+    assert not any(
+        isinstance(s, ast.If)
+        for s in ast.walk_statements(program.functions["f"].body)
+    )
+
+
+def test_unknown_branch_untouched():
+    program = parse_program(
+        "func f(x) { var r = 0; if (x > 0) { r = 1; } return r; }"
+    )
+    assert fold_constant_branches(program) == 0
+    assert any(
+        isinstance(s, ast.If) for s in program.functions["f"].body
+    )
+
+
+def test_join_drops_disagreeing_bindings():
+    program = parse_program(
+        """
+        func f(x) {
+            var a = 1;
+            if (x > 0) {
+                a = 2;
+            }
+            var r = 0;
+            if (a > 0) {
+                r = 1;
+            }
+            return r;
+        }
+        """
+    )
+    # `a` is 1 or 2 at the join -- not a single constant, but either way
+    # a > 0 is... NOT decided by this domain (it only tracks constants),
+    # so nothing folds.
+    assert fold_constant_branches(program) == 0

@@ -1,0 +1,144 @@
+"""Unit tests for the generic worklist dataflow solver."""
+
+from repro.lang.cfg import BasicBlock, ControlFlowGraph, build_cfg
+from repro.lang.parser import parse_program
+from repro.sa.framework import (
+    DataflowProblem,
+    UNREACHED,
+    predecessors,
+    reachable_blocks,
+    solve,
+)
+
+
+def cfg_of(source: str, func: str = "f") -> ControlFlowGraph:
+    return build_cfg(parse_program(source).functions[func])
+
+
+DIAMOND = """
+func f(x) {
+    var a = 1;
+    if (x > 0) {
+        a = 2;
+    } else {
+        a = 3;
+    }
+    return a;
+}
+"""
+
+
+class CollectAssigned(DataflowProblem):
+    """Forward may-analysis: set of variables assigned so far."""
+
+    direction = "forward"
+
+    def boundary(self, cfg):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, block, value):
+        out = set(value)
+        for stmt in block.statements:
+            if hasattr(stmt, "target"):
+                out.add(stmt.target)
+        return frozenset(out)
+
+
+class CountToExit(DataflowProblem):
+    """Backward: max statements from block start to any exit."""
+
+    direction = "backward"
+
+    def boundary(self, cfg):
+        return 0
+
+    def join(self, a, b):
+        return max(a, b)
+
+    def transfer(self, block, value):
+        return value + len(block.statements)
+
+
+def test_forward_reaches_fixpoint():
+    cfg = cfg_of(DIAMOND)
+    solution = solve(cfg, CollectAssigned())
+    exit_block = cfg.exit_blocks[0]
+    assert solution.block_in[exit_block.block_id] == frozenset({"a"})
+    # Entry starts from the boundary value.
+    assert solution.block_in[cfg.entry] == frozenset()
+
+
+def test_backward_accumulates_toward_entry():
+    cfg = cfg_of(DIAMOND)
+    solution = solve(cfg, CountToExit())
+    # Entry block: `var a` + one arm's reassignment = 2 statements on the
+    # longest path (the return itself contributes no statement).
+    assert solution.block_in[cfg.entry] == 2
+
+
+def test_unreached_blocks_stay_bottom():
+    cfg = ControlFlowGraph("g")
+    entry = cfg.new_block()
+    orphan = cfg.new_block()  # no edge reaches it
+    entry.is_return = True
+    solution = solve(cfg, CollectAssigned())
+    assert solution.block_in.get(orphan.block_id, UNREACHED) is UNREACHED
+    assert orphan.block_id not in reachable_blocks(cfg)
+
+
+def test_predecessors_are_sorted_and_complete():
+    cfg = cfg_of(DIAMOND)
+    preds = predecessors(cfg)
+    for block_id, block in cfg.blocks.items():
+        for succ in block.successors:
+            assert block_id in preds[succ]
+    for plist in preds.values():
+        assert plist == sorted(plist)
+
+
+def test_solution_is_deterministic():
+    first = solve(cfg_of(DIAMOND), CollectAssigned())
+    second = solve(cfg_of(DIAMOND), CollectAssigned())
+    assert first.block_in == second.block_in
+    assert first.block_out == second.block_out
+
+
+def test_widening_hook_forces_termination():
+    class Diverging(DataflowProblem):
+        """Integer counter that would climb forever around a cycle."""
+
+        direction = "forward"
+        TOP = 10**9
+
+        def boundary(self, cfg):
+            return 0
+
+        def join(self, a, b):
+            return max(a, b)
+
+        def transfer(self, block, value):
+            return value + 1
+
+        def widen(self, old, new):
+            return self.TOP
+
+    cfg = ControlFlowGraph("loop")
+    a = cfg.new_block()
+    b = cfg.new_block()
+    a.goto_target = b.block_id
+    b.branch_cond = object()
+    b.true_target = a.block_id
+    b.false_target = a.block_id
+    solution = solve(cfg, Diverging(), widen_after=4)
+    assert solution.block_in[a.block_id] == Diverging.TOP
+
+
+def test_successors_never_contain_none():
+    block = BasicBlock(0)
+    block.branch_cond = object()
+    block.true_target = 1
+    # false_target left unwired: successors must filter it out.
+    assert block.successors == (1,)

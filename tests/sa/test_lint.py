@@ -1,0 +1,161 @@
+"""The mini-language linter: kinds, precision, determinism."""
+
+import os
+
+from repro import default_checkers
+from repro.checkers.report import Diagnostic, LintReport
+from repro.sa.lint import (
+    KIND_CONSTANT_BRANCH,
+    KIND_ESCAPE,
+    KIND_UNREACHABLE,
+    KIND_USE_BEFORE_INIT,
+    run_lint,
+)
+
+DEMO_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    os.pardir, os.pardir, "examples", "lint_demo.mini",
+)
+
+
+def fsms():
+    return [c.fsm for c in default_checkers()]
+
+
+def test_use_before_init_flagged_once_per_var():
+    report = run_lint(
+        """
+        func f(x) {
+            var a = ghost + 1;
+            var b = ghost + 2;
+            return a + b;
+        }
+        """
+    )
+    found = report.by_kind(KIND_USE_BEFORE_INIT)
+    assert [d.subject for d in found] == ["ghost"]
+
+
+def test_branch_local_init_not_flagged_after_assignment():
+    report = run_lint(
+        "func f(x) { var a = 1; var b = a + x; return b; }"
+    )
+    assert not report.by_kind(KIND_USE_BEFORE_INIT)
+
+
+def test_unreachable_after_return_and_throw():
+    report = run_lint(
+        """
+        func f(x) {
+            if (x > 0) {
+                return 1;
+            }
+            return 0;
+            var dead = 2;
+        }
+        """
+    )
+    found = report.by_kind(KIND_UNREACHABLE)
+    assert len(found) == 1
+    assert found[0].func == "f"
+
+
+def test_constant_branch_reported_for_user_conditions_only():
+    report = run_lint(
+        """
+        func f(x) {
+            var flag = 0;
+            var r = x;
+            if (flag > 0) {
+                r = 0;
+            }
+            return r;
+        }
+        """
+    )
+    found = report.by_kind(KIND_CONSTANT_BRANCH)
+    assert len(found) == 1
+    assert "always false" in found[0].message
+
+
+def test_exception_lowering_registers_not_linted():
+    # lower_exceptions guards with __thrown == 0, which is often
+    # provably constant; those compiler conditions must not be reported.
+    report = run_lint(
+        """
+        func safe(x) { return x; }
+        func f(x) {
+            var r = safe(x);
+            return r;
+        }
+        """
+    )
+    for diag in report.diagnostics:
+        assert not diag.subject.startswith("__")
+        assert "__" not in diag.message or diag.kind != KIND_CONSTANT_BRANCH
+
+
+def test_escape_requires_fsms_and_tracked_type():
+    source = """
+    func f(x) {
+        var w = new FileWriter();
+        var n = x + 1;
+        return n;
+    }
+    """
+    assert not run_lint(source).by_kind(KIND_ESCAPE)  # no FSMs: no escapes
+    found = run_lint(source, fsms=fsms()).by_kind(KIND_ESCAPE)
+    assert [d.subject for d in found] == ["w"]
+
+
+def test_escape_suppressed_by_event_return_store_or_call():
+    report = run_lint(
+        """
+        func consume(h) { return 0; }
+        func f(x) {
+            var a = new FileWriter();
+            a.close();
+            var b = new FileWriter();
+            return b;
+        }
+        func g(x) {
+            var c = new FileWriter();
+            var r = consume(c);
+            return r;
+        }
+        """,
+        fsms=fsms(),
+    )
+    assert not report.by_kind(KIND_ESCAPE)
+
+
+def test_demo_covers_at_least_three_kinds_with_stable_order():
+    with open(DEMO_PATH) as f:
+        source = f.read()
+    first = run_lint(source, fsms=fsms())
+    second = run_lint(source, fsms=fsms())
+    assert len(first.kinds()) >= 3
+    assert first.summary() == second.summary()
+    lines = [d.describe() for d in first.sorted()]
+    assert lines == sorted(
+        lines,
+        key=lambda line: [
+            d.describe() for d in first.sorted()
+        ].index(line),
+    )
+
+
+def test_report_container_dedups_and_sorts():
+    report = LintReport()
+    diag = Diagnostic(
+        kind="use-before-init", func="f", line=3, subject="x", message="m"
+    )
+    report.add(diag)
+    report.add(diag)
+    assert len(report) == 1
+    report.add(
+        Diagnostic(
+            kind="use-before-init", func="a", line=9, subject="y", message="m"
+        )
+    )
+    assert [d.func for d in report.sorted()] == ["a", "f"]
