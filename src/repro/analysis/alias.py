@@ -84,7 +84,7 @@ def run_alias_phase(
         relevance=relevance,
         rstats=rstats,
     )
-    engine = GraphEngine(compiled.icfet, PointsToGrammar(), options)
+    engine = GraphEngine(compiled.icfet, PointsToGrammar(), options, phase="alias")
     engine_result = engine.run(graph_result.graph)
 
     analysis = AliasAnalysis(graph_result, engine_result)

@@ -53,6 +53,6 @@ def run_dataflow_phase(
         alias_index=alias_phase.flows_to,
         events_meta=graph_result.events_meta,
     )
-    engine = GraphEngine(compiled.icfet, grammar, options)
+    engine = GraphEngine(compiled.icfet, grammar, options, phase="dataflow")
     engine_result = engine.run(graph_result.graph)
     return DataflowAnalysis(graph_result, engine_result)

@@ -88,6 +88,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print a progress line to stderr every N"
                        " seconds (pairs done/eligible, edges, budget"
                        " occupancy)")
+    check.add_argument("--workdir", metavar="DIR", default=None,
+                       help="keep partition files (and per-wave checkpoint"
+                       " manifests) in DIR instead of a throwaway temp"
+                       " directory; required for --resume")
+    check.add_argument("--resume", action="store_true",
+                       help="resume an interrupted run from the checkpoint"
+                       " manifest in --workdir (validated against the"
+                       " current subject and engine options)")
+    check.add_argument("--max-retries", type=int, default=2,
+                       help="requeue a partition pair whose worker died or"
+                       " whose partition was corrupt up to N times before"
+                       " degrading it to a warning (default 2)")
+    check.add_argument("--fault-plan", metavar="SPEC", default=None,
+                       help="deterministic fault injection for testing, e.g."
+                       " 'short_write@partition-write:2,kill_worker@"
+                       "worker-task:3' (see repro.faults)")
 
     sub.add_parser("subjects", help="list built-in synthetic subjects")
 
@@ -116,6 +132,19 @@ def cmd_check(args) -> int:
         from repro.obs.trace import TraceRecorder
 
         recorder = TraceRecorder()
+    if args.resume and not args.workdir:
+        print("repro: --resume requires --workdir (a checkpoint can only"
+              " live in a directory that survives the run)", file=sys.stderr)
+        return 2
+    fault_plan = None
+    if args.fault_plan:
+        from repro.faults import FaultPlan, FaultPlanError
+
+        try:
+            fault_plan = FaultPlan.parse(args.fault_plan)
+        except FaultPlanError as exc:
+            print(f"repro: bad --fault-plan: {exc}", file=sys.stderr)
+            return 2
     options = GrappleOptions(
         unroll=args.unroll,
         reduce=args.reduce,
@@ -129,6 +158,10 @@ def cmd_check(args) -> int:
             trace=recorder,
             metrics=bool(args.metrics_json),
             heartbeat=args.heartbeat,
+            workdir=args.workdir,
+            resume=args.resume,
+            max_retries=args.max_retries,
+            fault_plan=fault_plan,
         ),
     )
     if args.lint:
@@ -138,7 +171,13 @@ def cmd_check(args) -> int:
             source, fsms=[c.fsm for c in checkers], unroll=args.unroll
         )
         print(lint_report.summary(), file=sys.stderr)
-    run = Grapple(source, [c.fsm for c in checkers], options).run()
+    from repro.engine.checkpoint import CheckpointMismatch
+
+    try:
+        run = Grapple(source, [c.fsm for c in checkers], options).run()
+    except CheckpointMismatch as exc:
+        print(f"repro: cannot resume: {exc}", file=sys.stderr)
+        return 2
     if recorder is not None:
         recorder.export(args.trace)
         print(

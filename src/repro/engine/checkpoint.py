@@ -1,0 +1,223 @@
+"""Checkpoint manifests: resumable closure runs (DESIGN.md §11).
+
+After every completed wave (serial: every processed pair) the
+coordinator flushes the store and writes a small JSON manifest beside
+the partition files.  The manifest is everything the closure needs to
+restart from that point -- partition descriptors and versions, the
+scheduler's processed-pair frontier, a scalar snapshot of
+:class:`~repro.engine.stats.EngineStats`, and the full label table -- it
+is RNG-free by design: the engine derives everything else (encoding
+ids, caches, join indexes) deterministically from the partition files.
+
+``--resume`` re-runs the front end (deterministic), then validates the
+manifest before adopting it:
+
+* a **config digest** over the correctness-relevant engine options must
+  match -- resuming a run under different closure semantics would
+  silently compute a different fixpoint;
+* the **label table** is re-interned in manifest order and every id must
+  land where the original run put it (edge rows reference label ids);
+* a sampled **vertex digest** must match (vertex ids are positional).
+
+Partition descriptors record each delta file's size at checkpoint time.
+Frames appended after the manifest was written (but before the crash)
+would otherwise be invisible to the restored scheduler frontier, so a
+size mismatch bumps the partition's version -- every pair touching it
+becomes eligible again and the extra edges are folded and reprocessed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+from repro.engine import serialize
+from repro.engine.partition import Partition
+
+#: Manifest file name inside the engine's (phase) workdir.
+MANIFEST = "checkpoint.json"
+FORMAT = 1
+
+#: EngineOptions fields that change *what* the closure computes (not how
+#: fast); a resume under a different value of any of these is refused.
+CONFIG_FIELDS = (
+    "memory_budget",
+    "min_partitions",
+    "parallel_min_partitions",
+    "witness_cap",
+    "path_sensitive",
+    "constraint_mode",
+    "max_string_bytes",
+)
+
+
+class CheckpointMismatch(RuntimeError):
+    """A manifest does not match the run trying to resume from it."""
+
+
+def config_digest(options) -> str:
+    payload = {name: getattr(options, name) for name in CONFIG_FIELDS}
+    text = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def vertex_digest(vertices) -> str:
+    """Sampled digest of the vertex table (ids are positional, so a
+    handful of spot checks catches any renumbering)."""
+    n = len(vertices)
+    h = hashlib.sha256(str(n).encode())
+    step = max(1, n // 64)
+    for i in range(0, n, step):
+        h.update(b"\x00")
+        h.update(repr(vertices.lookup(i)).encode())
+    return h.hexdigest()
+
+
+def _jsonable(value):
+    if isinstance(value, tuple):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def _untuple(value):
+    if isinstance(value, list):
+        return tuple(_untuple(v) for v in value)
+    return value
+
+
+def manifest_path(workdir: str) -> str:
+    return os.path.join(workdir, MANIFEST)
+
+
+def write_manifest(workdir: str, *, phase: str, options, store,
+                   last_seen: dict, stats, graph,
+                   complete: bool) -> str:
+    """Atomically write the checkpoint manifest for one engine run."""
+    parts = []
+    for part in store.partitions:
+        delta_size = None
+        try:
+            delta_size = os.path.getsize(part.delta_path)
+        except OSError:
+            pass
+        parts.append({
+            "index": part.index,
+            "lo": part.lo,
+            "hi": part.hi,
+            "path": os.path.basename(part.path),
+            "delta_path": os.path.basename(part.delta_path),
+            "edge_count": part.edge_count,
+            "byte_estimate": part.byte_estimate,
+            "version": part.version,
+            "delta_size": delta_size,
+        })
+    scalars = {}
+    for name, value in stats.__dict__.items():
+        if name.startswith("_"):
+            continue
+        if isinstance(value, (int, float, bool)):
+            scalars[name] = value
+    labels = graph.labels
+    manifest = {
+        "format": FORMAT,
+        "phase": phase,
+        "complete": bool(complete),
+        "config": config_digest(options),
+        "vertices": vertex_digest(graph.vertices),
+        "next_file": store._next_file,
+        "partitions": parts,
+        "last_seen": [
+            [pair[0], pair[1], seen[0], seen[1]]
+            for pair, seen in sorted(last_seen.items())
+        ],
+        "stats": scalars,
+        "labels": [_jsonable(label) for _i, label in labels.items()],
+    }
+    path = manifest_path(workdir)
+    data = json.dumps(manifest, indent=1).encode()
+    serialize.atomic_write_bytes(path, data)
+    return path
+
+
+def load_manifest(workdir: str) -> dict | None:
+    """The manifest in ``workdir``, or None when none (or unreadable --
+    an interrupted first checkpoint is indistinguishable from a fresh
+    run, and the atomic write makes a *torn* manifest impossible)."""
+    try:
+        with open(manifest_path(workdir), "rb") as f:
+            manifest = json.loads(f.read())
+    except (OSError, ValueError):
+        return None
+    if manifest.get("format") != FORMAT:
+        return None
+    return manifest
+
+
+def validate(manifest: dict, options, graph) -> None:
+    """Refuse a resume whose run would not continue the original one."""
+    digest = config_digest(options)
+    if manifest["config"] != digest:
+        raise CheckpointMismatch(
+            "checkpoint was written under different engine options"
+            f" (config digest {manifest['config'][:12]} != {digest[:12]});"
+            " re-run without --resume"
+        )
+    if manifest["vertices"] != vertex_digest(graph.vertices):
+        raise CheckpointMismatch(
+            "vertex table does not match the checkpoint (the subject or"
+            " front-end options changed); re-run without --resume"
+        )
+    labels = graph.labels
+    for want_id, stored in enumerate(manifest["labels"]):
+        got_id = labels.intern(_untuple(stored))
+        if got_id != want_id:
+            raise CheckpointMismatch(
+                f"label table diverged at id {want_id}"
+                f" ({_untuple(stored)!r} interned as {got_id});"
+                " re-run without --resume"
+            )
+
+
+def restore_store(manifest: dict, store) -> None:
+    """Adopt the manifest's partition layout into a fresh store.
+
+    A partition whose delta file's current size differs from the
+    checkpointed size gained (or lost) frames the manifest never saw:
+    its version is bumped so the scheduler reprocesses its pairs.
+    """
+    store.partitions = []
+    for desc in manifest["partitions"]:
+        part = Partition(
+            index=desc["index"],
+            lo=desc["lo"],
+            hi=desc["hi"],
+            path=os.path.join(store.workdir, desc["path"]),
+            delta_path=os.path.join(store.workdir, desc["delta_path"]),
+            edge_count=desc["edge_count"],
+            byte_estimate=desc["byte_estimate"],
+            version=desc["version"],
+        )
+        delta_size = None
+        try:
+            delta_size = os.path.getsize(part.delta_path)
+        except OSError:
+            pass
+        if delta_size != desc["delta_size"]:
+            part.version += 1
+        store.partitions.append(part)
+    store.partitions.sort(key=lambda p: p.index)
+    store._next_file = manifest["next_file"]
+    store._bounds_stale = True
+
+
+def restore_stats(manifest: dict, stats) -> None:
+    for name, value in manifest["stats"].items():
+        if hasattr(stats, name):
+            setattr(stats, name, value)
+
+
+def restored_last_seen(manifest: dict) -> dict:
+    return {
+        (i, j): (vi, vj) for i, j, vi, vj in manifest["last_seen"]
+    }

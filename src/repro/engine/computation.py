@@ -26,19 +26,24 @@ disk boundary is converted back to encoding tuples at the edge.
 
 from __future__ import annotations
 
+import os
 import shutil
+import sys
 import tempfile
 import time
 from dataclasses import dataclass, field
 
 from repro.cfet import encoding as enc_mod
 from repro.cfet.icfet import Icfet
+from repro.engine import checkpoint as ckpt
+from repro.engine import serialize
 from repro.engine.cache import FeasibilityMemo, LRUCache
 from repro.engine.columnar import EncodingTable
 from repro.engine.io_pipeline import PrefetchReader, SpillWriter
 from repro.engine.partition import Partition, PartitionStore
 from repro.engine.scheduling import PairScheduler
 from repro.engine.stats import EngineStats
+from repro.faults import resolve_plan
 from repro.obs.trace import NULL_RECORDER
 from repro.grammar.cfg_grammar import ComposeContext, Grammar
 from repro.graph.model import ProgramGraph
@@ -105,6 +110,18 @@ class EngineOptions:
     trace: object = None
     metrics: bool = False
     heartbeat: float | None = None
+    # Fault tolerance (DESIGN.md §11).  Checkpoint manifests are written
+    # after every wave (serial: every pair) when ``workdir`` is explicit
+    # -- a temp workdir cannot be pointed at again, so checkpointing is
+    # skipped (and costs nothing) there.  ``resume`` restarts a killed
+    # run from ``workdir``'s last manifest; ``max_retries`` bounds how
+    # often a pair whose worker died or whose partition load raised
+    # CorruptPartition is requeued before it degrades to a warning;
+    # ``fault_plan`` is a repro.faults.FaultPlan (or its spec string)
+    # injecting deterministic failures for tests and smoke runs.
+    resume: bool = False
+    max_retries: int = 2
+    fault_plan: object = None
 
 
 @dataclass
@@ -164,11 +181,22 @@ class GraphEngine:
         grammar: Grammar,
         options: EngineOptions | None = None,
         solver: Solver | None = None,
+        phase: str = "",
     ):
         self.icfet = icfet
         self.grammar = grammar
         self.options = options or EngineOptions()
         self.solver = solver or Solver()
+        # Pipeline phase label ("alias", "dataflow"); with an explicit
+        # workdir each phase runs in its own subdirectory so partition
+        # files and checkpoint manifests never collide across phases.
+        self.phase = phase
+        # Normalise the fault plan once and write it back, so the two
+        # pipeline phases (which share one EngineOptions) and forked
+        # workers (which inherit it through _FORK_STATE) all hold the
+        # same armed plan with its once-per-run latches.
+        self.faults = resolve_plan(self.options.fault_plan)
+        self.options.fault_plan = self.faults
         self.stats = EngineStats()
         self.trace = (
             self.options.trace if self.options.trace is not None
@@ -195,6 +223,15 @@ class GraphEngine:
         # the parallel worker uses it to report delta edges back to the
         # coordinator.
         self._new_edge_sink = None
+        # Fault-tolerance state: where checkpoint manifests go (None =
+        # checkpointing off), the manifest being resumed from, the live
+        # scheduler (its frontier rides in every manifest), and the
+        # partitions declared unrecoverable.
+        self._ckpt_dir: str | None = None
+        self._resume_manifest: dict | None = None
+        self._scheduler_seed: dict | None = None
+        self._scheduler = None
+        self._quarantined_parts: set = set()
 
     # -- public API ----------------------------------------------------------
 
@@ -204,6 +241,10 @@ class GraphEngine:
         if workdir is None:
             workdir = tempfile.mkdtemp(prefix="grapple_")
             cleanup = not self.options.keep_workdir
+        else:
+            if self.phase:
+                workdir = os.path.join(workdir, self.phase)
+            os.makedirs(workdir, exist_ok=True)
         try:
             result = self._run(graph, workdir)
         except BaseException:
@@ -238,36 +279,79 @@ class GraphEngine:
             from repro.obs.report import Heartbeat
 
             self._heartbeat = Heartbeat(self.options.heartbeat)
+        # Once-per-run fault latches live beside the *base* workdir so
+        # one plan spans both pipeline phases; a fresh run re-arms them,
+        # --resume keeps the faults that crashed the original tripped.
+        latch_base = self.options.workdir or workdir
+        self.faults.arm(
+            os.path.join(latch_base, ".faults"),
+            reset=not self.options.resume,
+        )
+        # Checkpointing is tied to an explicit workdir: a temp dir can't
+        # be pointed at again, so manifests there would be dead weight.
+        self._ckpt_dir = workdir if self.options.workdir is not None else None
+        manifest = None
+        if self._ckpt_dir is not None and self.options.resume:
+            manifest = ckpt.load_manifest(self._ckpt_dir)
         prefetch = (
             PrefetchReader(trace=trace) if self.options.prefetch else None
         )
         spill_writer = SpillWriter(
-            compress=self.options.compress_spills, trace=trace
+            compress=self.options.compress_spills, trace=trace,
+            faults=self.faults,
         )
         with stats.timing("preprocess_time"):
             self._seed_derived(graph)
             if self.options.constraint_mode == "string":
                 self._stringify_graph(graph)
-            stats.edges_before = graph.edge_count()
-            stats.vertices = len(graph.vertices)
             store = PartitionStore(
                 workdir, self.options.memory_budget, stats,
                 table=self._enc, prefetch=prefetch,
                 spill_writer=spill_writer, trace=trace,
+                faults=self.faults,
             )
-            store.initialize(graph.edges, len(graph.vertices), min_partitions)
+            if manifest is not None:
+                # Refuse a resume that would not continue the original
+                # run, then adopt its partitions, frontier, and stats.
+                ckpt.validate(manifest, self.options, graph)
+                ckpt.restore_store(manifest, store)
+                ckpt.restore_stats(manifest, stats)
+                self._scheduler_seed = ckpt.restored_last_seen(manifest)
+            else:
+                if self._ckpt_dir is not None:
+                    # Fresh run in a reused directory: stale partition,
+                    # delta, temp, or manifest files from an earlier run
+                    # must not leak into this one.
+                    for name in os.listdir(workdir):
+                        if (
+                            name.endswith((".bin", ".tmp"))
+                            or name == ckpt.MANIFEST
+                        ):
+                            try:
+                                os.remove(os.path.join(workdir, name))
+                            except OSError:
+                                pass
+                stats.edges_before = graph.edge_count()
+                stats.vertices = len(graph.vertices)
+                store.initialize(
+                    graph.edges, len(graph.vertices), min_partitions
+                )
         self._graph = graph
         self._store = store
+        self._resume_manifest = manifest
         self._ctx = ComposeContext(
             feasible=self._feasible, vertex=graph.vertices.lookup
         )
 
+        resumed_complete = manifest is not None and manifest["complete"]
         try:
             with trace.span(
                 "closure", workers=self.options.workers,
                 partitions=len(store.partitions),
             ):
-                if parallel:
+                if resumed_complete:
+                    pass  # the manifest says this phase already finished
+                elif parallel:
                     from repro.engine.parallel import ParallelCoordinator
 
                     ParallelCoordinator(self).run()
@@ -284,8 +368,39 @@ class GraphEngine:
         store.flush()
         stats.edges_after = store.total_edges()
         stats.final_partitions = len(store.partitions)
+        if not resumed_complete:
+            self._write_checkpoint(complete=True)
         result = EngineResult(stats=stats, store=store, graph=graph)
         return result
+
+    def _write_checkpoint(self, complete: bool = False) -> None:
+        """Flush the store and write the resume manifest (no-op when
+        checkpointing is off).  The manifest goes last and atomically,
+        so it never describes state that is not yet durable."""
+        if self._ckpt_dir is None:
+            return
+        store = self._store
+        if store.spill_writer is not None:
+            store.spill_writer.flush()
+        store.flush()
+        trace = self.trace
+        tick = trace.begin() if trace.enabled else 0.0
+        last_seen = (
+            self._scheduler.last_seen if self._scheduler is not None else {}
+        )
+        ckpt.write_manifest(
+            self._ckpt_dir, phase=self.phase or "closure",
+            options=self.options, store=store, last_seen=last_seen,
+            stats=self.stats, graph=self._graph, complete=complete,
+        )
+        if tick:
+            trace.end("checkpoint", tick, cat="fault", complete=complete)
+        self.stats.checkpoints_written += 1
+        spec = self.faults.fire("checkpoint")
+        if spec is not None and spec.mode == "kill_run":
+            # Injected whole-run crash, *after* the manifest is durable:
+            # a --resume of this workdir must pick up right here.
+            self.faults.kill_self()
 
     def _serial_loop(self) -> None:
         stats = self.stats
@@ -293,6 +408,9 @@ class GraphEngine:
         trace = self.trace
         heartbeat = self._heartbeat
         scheduler = PairScheduler(store)
+        self._scheduler = scheduler
+        if self._scheduler_seed:
+            scheduler.restore(self._scheduler_seed)
         while True:
             pair = scheduler.next_pair()
             if pair is None:
@@ -321,14 +439,80 @@ class GraphEngine:
                     "iteration", iteration=stats.pairs_processed + 1,
                     pair=f"{pair[0]},{pair[1]}",
                 ):
-                    self._process_pair(*pair)
+                    self._attempt_pair(pair)
             else:
-                self._process_pair(*pair)
+                self._attempt_pair(pair)
             scheduler.mark_processed(pair, captured)
             stats.pairs_processed += 1
             stats.iterations = stats.pairs_processed
+            self._write_checkpoint()
             if heartbeat is not None:
                 heartbeat.maybe_beat(stats, store, scheduler)
+
+    # -- retry / quarantine ------------------------------------------------------
+
+    def _attempt_pair(self, pair) -> None:
+        """Process one pair, retrying across :class:`CorruptPartition`
+        (rebuilding damaged partitions from their best surviving copy)
+        and degrading to a per-pair warning when retries run out."""
+        if self._quarantined_parts and (
+            pair[0] in self._quarantined_parts
+            or pair[1] in self._quarantined_parts
+        ):
+            return  # already warned at the partition level
+        attempt = 0
+        while True:
+            try:
+                self._process_pair(*pair)
+                return
+            except serialize.CorruptPartition as exc:
+                if attempt >= self.options.max_retries:
+                    self._quarantine_pair(pair, exc)
+                    return
+                attempt += 1
+                self._recover_pair(pair, exc, attempt)
+
+    def _recover_pair(self, pair, exc, attempt: int) -> None:
+        """Before a retry: probe the pair's partitions and rewrite any
+        whose file is unreadable from the resident cached copy or the
+        torn rename's temp file (:meth:`PartitionStore.rebuild`)."""
+        stats = self.stats
+        store = self._store
+        stats.retries += 1
+        tick = self.trace.begin() if self.trace.enabled else 0.0
+        for index in set(pair):
+            part = store.partitions[index]
+            if store.prefetch is not None:
+                store.prefetch.invalidate(index)
+            try:
+                store.load(part)
+            except serialize.CorruptPartition:
+                if not store.rebuild(part):
+                    self._quarantine_partition(part, exc)
+        if tick:
+            self.trace.end(
+                "retry", tick, cat="fault",
+                pair=f"{pair[0]},{pair[1]}", attempt=attempt,
+            )
+
+    def _quarantine_partition(self, part, exc) -> None:
+        if part.index in self._quarantined_parts:
+            return
+        self._quarantined_parts.add(part.index)
+        self.stats.partitions_quarantined += 1
+        print(
+            f"grapple: partition {part.index} is unrecoverable and was"
+            f" quarantined (its pairs are skipped): {exc}",
+            file=sys.stderr,
+        )
+
+    def _quarantine_pair(self, pair, exc) -> None:
+        self.stats.pairs_quarantined += 1
+        print(
+            f"grapple: giving up on partition pair {pair[0]},{pair[1]}"
+            f" after {self.options.max_retries} retries: {exc}",
+            file=sys.stderr,
+        )
 
     def _seed_derived(self, graph: ProgramGraph) -> None:
         """Apply grammar derivations to the initial edges (e.g. flowsTo

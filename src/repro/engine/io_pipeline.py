@@ -14,10 +14,11 @@ version and turns the prefetch into a miss, so stale bytes can never be
 adopted.
 
 Spill (delta) writes go the other way: :class:`SpillWriter` queues
-length-prefixed frames and appends them from a writer thread, optionally
-zlib-compressing each frame (``EngineOptions.compress_spills``).  The
-store flushes the writer for a path before any read of that path, which
-keeps the read side oblivious to the buffering.
+payloads and appends them as CRC-framed records from a writer thread,
+optionally zlib-compressing each payload
+(``EngineOptions.compress_spills``).  The store flushes the writer for a
+path before any read of that path, which keeps the read side oblivious
+to the buffering.
 """
 
 from __future__ import annotations
@@ -27,6 +28,7 @@ import queue
 import threading
 
 from repro.engine import serialize
+from repro.faults import NULL_PLAN
 from repro.obs.trace import NULL_RECORDER
 
 
@@ -68,6 +70,8 @@ class PrefetchReader:
                 "ready": threading.Event(),
                 "parsed": None,
                 "deltas": None,
+                "dropped": 0,
+                "error": None,
             }
             self._results[index] = entry
         self._ensure_thread()
@@ -88,23 +92,37 @@ class PrefetchReader:
                 deltas = []
                 if os.path.exists(delta_path):
                     # Parse the delta frames but do NOT remove the file;
-                    # the consumer owns its lifecycle.
+                    # the consumer owns its lifecycle.  Truncated tail
+                    # frames are a benign crash artifact and are dropped;
+                    # interior CRC/decode failures are real corruption
+                    # and are surfaced through the entry's error slot so
+                    # the store's retry layer (not this thread) decides
+                    # how to recover.
                     with open(delta_path, "rb") as f:
                         data = f.read()
-                    pos = 0
-                    while pos < len(data):
-                        length = int.from_bytes(data[pos : pos + 4], "little")
-                        pos += 4
-                        deltas.append(
-                            serialize.decode_partition(data[pos : pos + length])
+                    payloads, dropped, corrupt = serialize.split_frames(data)
+                    if corrupt:
+                        raise serialize.CorruptPartition(
+                            f"{corrupt} corrupt delta frame(s) in"
+                            f" {os.path.basename(delta_path)}"
                         )
-                        pos += length
+                    entry["dropped"] = dropped
+                    for payload in payloads:
+                        deltas.append(serialize.decode_partition(payload))
                 entry["parsed"] = parsed
                 entry["deltas"] = deltas
+            except serialize.CorruptPartition as exc:
+                # Corrupt bytes are NOT a benign miss: record the error
+                # so take() can distinguish "re-read synchronously" from
+                # "this partition needs recovery".
+                entry["parsed"] = None
+                entry["deltas"] = None
+                entry["error"] = exc
             except Exception:
-                # Any failure (truncated write race, missing file) simply
-                # leaves the entry empty: take() reports a miss and the
-                # caller falls back to a synchronous load.
+                # Benign failures (file not yet written, version race,
+                # transient OS error) leave the entry empty: take()
+                # reports a miss and the caller falls back to a
+                # synchronous load.
                 entry["parsed"] = None
                 entry["deltas"] = None
             finally:
@@ -121,19 +139,27 @@ class PrefetchReader:
     def take(self, index: int, version: int):
         """Claim a prefetched parse for (index, version).
 
-        Returns ``(ColumnarFile, [delta_dict, ...])`` on a hit, or
-        ``None`` on a miss (never scheduled, version changed since, or
-        the read failed).  Blocks until an in-flight read finishes --
-        the wait is never longer than the synchronous read would be.
+        Returns ``(ColumnarFile, [delta_dict, ...], dropped_frames)`` on
+        a hit, or ``None`` on a miss (never scheduled, version changed
+        since, or the read failed benignly).  A read that failed on
+        *corrupt* bytes raises :class:`CorruptPartition` instead -- the
+        caller counts it separately and routes it to the retry layer
+        rather than silently re-reading the same damage forever.  Blocks
+        until an in-flight read finishes -- the wait is never longer
+        than the synchronous read would be.
         """
         with self._lock:
             entry = self._results.pop(index, None)
         if entry is None:
             return None
         entry["ready"].wait()
-        if entry["version"] != version or entry["parsed"] is None:
+        if entry["version"] != version:
             return None
-        return entry["parsed"], entry["deltas"]
+        if entry["error"] is not None:
+            raise entry["error"]
+        if entry["parsed"] is None:
+            return None
+        return entry["parsed"], entry["deltas"], entry["dropped"]
 
     def invalidate(self, index: int) -> None:
         """Drop any pending/completed prefetch for a partition."""
@@ -155,12 +181,20 @@ class SpillWriter:
     Frames are queued by the engine thread and written (optionally
     zlib-compressed) by a daemon writer thread; :meth:`flush` blocks
     until every queued frame for a path (or all paths) has hit disk.
-    Exceptions raised on the writer thread surface at the next flush.
+    Each frame is CRC-framed (``serialize.encode_frame``) and appended
+    in a *single* ``write`` call, so a crash mid-append leaves at most
+    one truncated trailing frame, which the tolerant reader drops.
+    Exceptions raised on the writer thread surface at the next flush or
+    append, and :meth:`close` flushes, joins the thread, and re-raises
+    any error still pending -- an error can no longer be lost because
+    the run ended before the next flush.
     """
 
-    def __init__(self, compress: bool = False, trace=None) -> None:
+    def __init__(self, compress: bool = False, trace=None,
+                 faults=NULL_PLAN) -> None:
         self.compress = compress
         self.trace = trace if trace is not None else NULL_RECORDER
+        self.faults = faults
         # Mutated only by the writer thread; fold into EngineStats after
         # close() so no counter is written from two threads.
         self.frames_written = 0
@@ -181,7 +215,7 @@ class SpillWriter:
             self._thread.start()
 
     def append(self, path: str, payload: bytes) -> None:
-        """Queue one length-prefixed frame for append to ``path``."""
+        """Queue one CRC-framed payload for append to ``path``."""
         if self._closed:
             raise RuntimeError("SpillWriter is closed")
         with self._lock:
@@ -204,14 +238,19 @@ class SpillWriter:
             try:
                 if self.compress:
                     payload = serialize.compress_payload(payload)
+                frame = serialize.encode_frame(payload)
+                spec = self.faults.fire("delta-append")
+                if spec is not None:
+                    frame = self.faults.mutate_frame(spec, frame)
+                # One write call per frame: a crash can truncate the
+                # tail frame but never interleave two partial frames.
                 with open(path, "ab") as f:
-                    f.write(len(payload).to_bytes(4, "little"))
-                    f.write(payload)
+                    f.write(frame)
                 self.frames_written += 1
-                self.bytes_written += len(payload)
+                self.bytes_written += len(frame)
                 if span_start:
                     trace.end(
-                        "spill", span_start, cat="io", bytes=len(payload)
+                        "spill", span_start, cat="io", bytes=len(frame)
                     )
             except BaseException as exc:  # surfaced at next flush/append
                 with self._lock:
@@ -244,10 +283,20 @@ class SpillWriter:
                 raise error
 
     def close(self) -> None:
+        """Flush, join the writer thread, and re-raise pending errors."""
         if self._closed:
             return
-        self.flush()
         self._closed = True
+        error: BaseException | None = None
+        try:
+            self.flush()
+        except BaseException as exc:
+            error = exc
         if self._thread is not None and self._thread.is_alive():
             self._tasks.put(None)
             self._thread.join(timeout=5)
+        with self._lock:
+            if error is None and self._error is not None:
+                error, self._error = self._error, None
+        if error is not None:
+            raise error

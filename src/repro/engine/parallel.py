@@ -4,7 +4,11 @@ The closure over partition pairs is embarrassingly partition-parallel:
 two pairs that share no partition read and write disjoint data.  The
 coordinator therefore repeatedly selects a *wave* of mutually disjoint
 eligible pairs (:meth:`repro.engine.scheduling.PairScheduler.select_wave`)
-and dispatches them to a persistent ``multiprocessing`` pool:
+and dispatches them to a persistent forked process pool (a
+``ProcessPoolExecutor``, which -- unlike ``multiprocessing.Pool`` --
+surfaces an abruptly killed worker as ``BrokenProcessPool`` instead of
+hanging forever, so the coordinator can rebuild the pool and requeue the
+task; DESIGN.md §11 describes the retry/quarantine protocol):
 
 * each **worker** loads its two partitions from the on-disk store
   (through a version-validated, worker-local decoded-partition cache),
@@ -55,8 +59,11 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import sys
 import time
 from bisect import bisect_right
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from repro.engine import serialize
@@ -113,6 +120,9 @@ class WaveTask:
     deltas: dict
     #: Warm constraint-cache entries to fold into the worker-local LRU.
     cache_seed: list = field(default_factory=list)
+    #: Redelivery count: bumped by the coordinator each time the task is
+    #: requeued after a worker death or a corrupt-partition load.
+    attempt: int = 0
 
 
 @dataclass
@@ -205,8 +215,19 @@ class _WorkerStore:
         if entry is not None and entry[0] == part.version:
             return entry[1]
         with self.stats.timing("io_time"):
-            with open(part.path, "rb") as f:
-                parsed = serialize.parse_columnar(f.read())
+            try:
+                with open(part.path, "rb") as f:
+                    parsed = serialize.parse_columnar(f.read())
+            except serialize.CorruptPartition:
+                raise
+            except Exception as exc:
+                # Surface *any* unreadable file as CorruptPartition so the
+                # coordinator's retry layer can rebuild it, rather than
+                # letting an OSError abort the whole run.
+                raise serialize.CorruptPartition(
+                    "unreadable partition file"
+                    f" {os.path.basename(part.path)}: {exc}"
+                ) from exc
             cols = EdgeColumns.from_file(parsed, self.table)
         self._cache_decoded(part.index, part.version, cols)
         return cols
@@ -455,6 +476,17 @@ class _WorkerEngine(GraphEngine):
 
 def _worker_init() -> None:
     global _WORKER
+    if sys.platform.startswith("linux"):
+        # If the coordinator is killed outright (e.g. the fault harness's
+        # kill_run), idle workers would otherwise block forever on the
+        # executor's call queue; ask the kernel to reap us with it.
+        try:
+            import ctypes
+            import signal
+
+            ctypes.CDLL(None).prctl(1, signal.SIGTERM)  # PR_SET_PDEATHSIG
+        except Exception:
+            pass
     state = _FORK_STATE
     _WORKER = _WorkerEngine(
         state["icfet"], state["grammar"], state["options"], state["graph"]
@@ -462,6 +494,9 @@ def _worker_init() -> None:
 
 
 def _worker_run(task: WaveTask) -> WaveResult:
+    spec = _WORKER.faults.fire("worker-task")
+    if spec is not None:
+        _WORKER.faults.kill_self()
     return _WORKER.run_task(task)
 
 
@@ -583,14 +618,15 @@ class ParallelCoordinator:
         for label in engine.grammar.closure_labels(initial):
             labels.intern(label)
 
-        pool = None
-        procs = effective_workers(self.options)
-        if procs > 1 and self.options.parallel_dispatch != "inline":
+        self._pool = None
+        self._ctx = None
+        self._procs = effective_workers(self.options)
+        if self._procs > 1 and self.options.parallel_dispatch != "inline":
             try:
-                ctx = multiprocessing.get_context("fork")
+                self._ctx = multiprocessing.get_context("fork")
             except ValueError:  # no fork on this platform: run inline
-                ctx = None
-            if ctx is not None:
+                self._ctx = None
+            if self._ctx is not None:
                 global _FORK_STATE
                 _FORK_STATE = {
                     "icfet": engine.icfet,
@@ -598,38 +634,154 @@ class ParallelCoordinator:
                     "options": engine.options,
                     "graph": engine._graph,
                 }
-                pool = ctx.Pool(processes=procs, initializer=_worker_init)
+                self._pool = self._make_pool()
         self._inline = _WorkerEngine(
             engine.icfet, engine.grammar, engine.options, engine._graph,
             store=_InlineStore(self.store),
         )
-        # Seed the join index from the initial graph (partition contents
-        # at this point are exactly the post-derivation input edges).
         self._joins = _JoinIndex(engine.grammar.relevant_source, labels.lookup)
-        for src, targets in engine._graph.edges.items():
-            index = self.store.partition_of(src).index
-            for dst, label_id in targets:
-                self._joins.add(index, dst, label_id)
+        if engine._resume_manifest is not None:
+            # Resumed run: the restored partitions hold input *and*
+            # derived edges (the graph's edge map only the former), so
+            # rebuild the destination sets from the files themselves.
+            for part in self.store.partitions:
+                self._joins.rebuild(part.index, self.store.load(part))
+        else:
+            # Seed the join index from the initial graph (partition
+            # contents at this point are exactly the post-derivation
+            # input edges).
+            for src, targets in engine._graph.edges.items():
+                index = self.store.partition_of(src).index
+                for dst, label_id in targets:
+                    self._joins.add(index, dst, label_id)
         try:
-            self._wave_loop(pool)
+            self._wave_loop()
         finally:
             _FORK_STATE = None
-            if pool is not None:
-                pool.terminate()
-                pool.join()
+            if self._pool is not None:
+                self._pool.shutdown(wait=True, cancel_futures=True)
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        """A fresh fork-context executor; workers inherit ``_FORK_STATE``
+        (set before the first submit forks them) copy-on-write."""
+        return ProcessPoolExecutor(
+            max_workers=self._procs,
+            mp_context=self._ctx,
+            initializer=_worker_init,
+        )
+
+    def _rebuild_pool(self) -> None:
+        """Replace a broken executor (a worker died abruptly; the
+        executor marks itself unusable) with a fresh one."""
+        old, self._pool = self._pool, None
+        try:
+            old.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        self._pool = self._make_pool()
 
     def _run_inline(self, task: WaveTask) -> WaveResult:
         result = self._inline.run_task(task)
         result.applied = True
         return result
 
-    def _wave_loop(self, pool) -> None:
+    # -- retry / quarantine ------------------------------------------------------
+
+    def _attempt_inline(self, task: WaveTask) -> WaveResult:
+        """Run one task in-process, retrying across CorruptPartition the
+        same way pooled tasks are requeued."""
+        while True:
+            try:
+                return self._run_inline(task)
+            except serialize.CorruptPartition as exc:
+                if task.attempt >= self.options.max_retries:
+                    return self._quarantine_task(task, exc)
+                task.attempt += 1
+                self._recover_task(task, exc)
+
+    def _collect(self, futures: list) -> list:
+        """Drain a wave's pooled futures, requeueing each failed task --
+        a dead worker (the executor breaks: rebuild it) or a corrupt
+        partition load (rebuild the partition) -- up to
+        ``--max-retries`` times before degrading it to a warning."""
+        results = []
+        queue = list(futures)
+        while queue:
+            task, future = queue.pop(0)
+            try:
+                results.append(future.result())
+                continue
+            except BrokenProcessPool as exc:
+                # Every future on the broken executor fails the same way
+                # as we reach it; each task is requeued onto the fresh
+                # pool and charged one attempt.
+                failure = exc
+                self._rebuild_pool()
+            except serialize.CorruptPartition as exc:
+                failure = exc
+                self._recover_task(task, exc, count_retry=False)
+            if task.attempt >= self.options.max_retries:
+                results.append(self._quarantine_task(task, failure))
+                continue
+            task.attempt += 1
+            self.stats.retries += 1
+            try:
+                queue.append((task, self._pool.submit(_worker_run, task)))
+            except BrokenProcessPool:
+                self._rebuild_pool()
+                queue.append((task, self._pool.submit(_worker_run, task)))
+        return results
+
+    def _recover_task(self, task: WaveTask, exc, count_retry=True) -> None:
+        """Probe the pair's partition *files* (workers read them
+        directly, so the coordinator's write-back cache must not mask
+        the damage) and rewrite any unreadable one from its best
+        surviving copy (:meth:`PartitionStore.rebuild`)."""
+        engine = self.engine
+        stats = self.stats
+        store = self.store
+        if count_retry:
+            stats.retries += 1
+        trace = engine.trace
+        tick = trace.begin() if trace.enabled else 0.0
+        for index in set(task.pair):
+            part = store.partitions[index]
+            if store.prefetch is not None:
+                store.prefetch.invalidate(index)
+            try:
+                with open(part.path, "rb") as f:
+                    serialize.parse_columnar(f.read())
+            except Exception:
+                if not store.rebuild(part):
+                    engine._quarantine_partition(part, exc)
+        if tick:
+            trace.end(
+                "retry", tick, cat="fault",
+                pair=f"{task.pair[0]},{task.pair[1]}", attempt=task.attempt,
+            )
+
+    def _quarantine_task(self, task: WaveTask, exc) -> WaveResult:
+        """Give up on one pair: warn, count, and return an empty applied
+        result so the merge loop retires the pair normally."""
+        self.stats.pairs_quarantined += 1
+        print(
+            f"grapple: giving up on partition pair {task.pair[0]},"
+            f"{task.pair[1]} after {self.options.max_retries} retries:"
+            f" {exc}",
+            file=sys.stderr,
+        )
+        return WaveResult(pair=task.pair, applied=True)
+
+    def _wave_loop(self) -> None:
         stats = self.stats
         store = self.store
         engine = self.engine
         trace = engine.trace
         heartbeat = engine._heartbeat
         scheduler = PairScheduler(store)
+        engine._scheduler = scheduler
+        if engine._scheduler_seed:
+            scheduler.restore(engine._scheduler_seed)
         # Per-partition delta logs: every edge added since initialisation,
         # in arrival order (tuple-encoded -- they cross into workers).
         # last_pos[pair] records (epoch_i, len_i, epoch_j, len_j) at
@@ -652,7 +804,7 @@ class ParallelCoordinator:
             # only disperses the store cache's locality and schedules
             # pairs on staler eligibility, so fall back to one pair at a
             # time (the serial order, still delta-seeded).
-            width = self.options.workers if pool is not None else 1
+            width = self.options.workers if self._pool is not None else 1
             if self.options.max_pairs is not None:
                 width = min(
                     width, self.options.max_pairs - stats.pairs_processed
@@ -667,6 +819,21 @@ class ParallelCoordinator:
             # their current versions and delta positions.
             live = []
             for pair in wave:
+                if engine._quarantined_parts and (
+                    pair[0] in engine._quarantined_parts
+                    or pair[1] in engine._quarantined_parts
+                ):
+                    # Unrecoverable partition: retire the pair silently
+                    # (the quarantine already printed a warning) so it
+                    # stops re-entering wave selection.
+                    scheduler.mark_processed(
+                        pair, scheduler.captured_versions(pair)
+                    )
+                    last_pos[pair] = (
+                        epochs[pair[0]], len(logs.setdefault(pair[0], [])),
+                        epochs[pair[1]], len(logs.setdefault(pair[1], [])),
+                    )
+                    continue
                 if self._joins.pair_has_join(store.partitions, pair):
                     live.append(pair)
                     continue
@@ -689,7 +856,7 @@ class ParallelCoordinator:
             # The first pair of every wave runs in-process (against the
             # write-back cache, no IPC) while the pool -- when there is
             # one -- chews the rest.
-            pooled = wave[1:] if pool is not None else ()
+            pooled = wave[1:] if self._pool is not None else ()
 
             tasks = []
             seed = fresh_entries[-CACHE_SEED_CAP:]
@@ -732,11 +899,14 @@ class ParallelCoordinator:
                 )
 
             if pooled:
-                pending = pool.map_async(_worker_run, tasks[1:], chunksize=1)
-                results = [self._run_inline(tasks[0])]
-                results.extend(pending.get())
+                futures = [
+                    (task, self._pool.submit(_worker_run, task))
+                    for task in tasks[1:]
+                ]
+                results = [self._attempt_inline(tasks[0])]
+                results.extend(self._collect(futures))
             else:
-                results = [self._run_inline(task) for task in tasks]
+                results = [self._attempt_inline(task) for task in tasks]
             if trace.enabled:
                 trace.end(
                     "wave", wave_start, cat="wave",
@@ -814,6 +984,10 @@ class ParallelCoordinator:
                     for _src, dst, label_id, _enc in added:
                         self._joins.add(index, dst, label_id)
             self._split_oversized(touched, logs, epochs)
+            # One manifest per completed wave: everything merged above is
+            # flushed durable first, so a crash from here on resumes at
+            # the *next* wave (no-op when checkpointing is off).
+            engine._write_checkpoint()
             # Wave lookahead for the I/O pipeline: the predicted next
             # wave's first pair runs inline through store.load, so start
             # its reads now.  (Pooled pairs read the files in their own

@@ -14,10 +14,21 @@ the bulk columnar wire format (``serialize.encode_columnar``), so a load
 is four ``frombytes`` calls plus one pass over the (small) encoding table
 rather than a per-edge varint loop.  The memory budget is accounted in
 columnar bytes (32 per row plus string-payload text).  Delta files remain
-sequences of length-prefixed v1 frames -- they hold small tuple-shaped
+sequences of CRC-framed v1 payloads -- they hold small tuple-shaped
 chunks arriving from spills and out-of-process workers -- optionally
 written through a background :class:`~repro.engine.io_pipeline.SpillWriter`
 and zlib-compressed per frame.
+
+Durability (DESIGN.md §11): partition files are replaced atomically
+(temp + fsync + rename), so a crash leaves the previous complete version
+on disk; delta frames are appended in single checksummed writes, so a
+crash leaves at most one truncated trailing frame, dropped on read.  A
+partition's delta file is only removed *after* the next durable
+partition write folds it in (``Partition.delta_folded``) -- until then
+the edges it holds remain replayable.  Interior delta corruption is
+salvaged around: the bad frames are discarded and the partition's
+version is bumped, so every pair touching it recomputes (the closure is
+a monotone fixpoint -- dropped derived edges are re-derived).
 """
 
 from __future__ import annotations
@@ -31,6 +42,7 @@ import time
 from repro.engine import serialize
 from repro.engine.columnar import ROW_BYTES, EdgeColumns, EncodingTable
 from repro.engine.stats import EngineStats
+from repro.faults import NULL_PLAN
 from repro.obs.trace import NULL_RECORDER
 
 
@@ -46,6 +58,10 @@ class Partition:
     edge_count: int = 0
     byte_estimate: int = 0
     version: int = 0  # bumped whenever edges are added
+    # True while the resident cached columns already include the delta
+    # file's frames; the file itself is kept until the next durable
+    # partition write so a crash before then can still replay it.
+    delta_folded: bool = False
 
     def owns(self, src: int) -> bool:
         return self.lo <= src < self.hi
@@ -57,11 +73,13 @@ class PartitionStore:
     def __init__(self, workdir: str, memory_budget: int,
                  stats: EngineStats | None = None, cache_slots: int = 4,
                  table: EncodingTable | None = None,
-                 prefetch=None, spill_writer=None, trace=None):
+                 prefetch=None, spill_writer=None, trace=None,
+                 faults=None):
         self.workdir = workdir
         self.memory_budget = memory_budget
         self.stats = stats or EngineStats()
         self.trace = trace if trace is not None else NULL_RECORDER
+        self.faults = faults if faults is not None else NULL_PLAN
         self.table = table if table is not None else EncodingTable()
         # Optional I/O pipeline (engine/io_pipeline.py): a PrefetchReader
         # whose thread parses upcoming partitions, and a SpillWriter that
@@ -131,8 +149,48 @@ class PartitionStore:
     def _save(self, part: Partition, cols: EdgeColumns) -> None:
         with self.stats.timing("io_time"):
             data = cols.encode()
-            with open(part.path, "wb") as f:
-                f.write(data)
+            spec = self.faults.fire("partition-write")
+            if spec is not None and spec.mode == "short_write":
+                # The legacy torn write this layer eliminates: truncated
+                # bytes straight at the destination path.
+                with open(part.path, "wb") as f:
+                    f.write(data[: max(1, len(data) // 2)])
+            elif spec is not None and spec.mode == "torn_rename":
+                # Crash between temp write and rename: the previous
+                # durable version stays; the new bytes sit in the temp.
+                serialize.atomic_write_bytes(part.path, data, replace=False)
+            else:
+                serialize.atomic_write_bytes(part.path, data)
+                if part.delta_folded:
+                    # The columns just written include every delta frame;
+                    # only now is the replay log safe to discard.
+                    part.delta_folded = False
+                    try:
+                        os.remove(part.delta_path)
+                    except FileNotFoundError:
+                        pass
+            if spec is not None:
+                # The injected crash left disk stale or corrupt; keep
+                # the newest columns resident and dirty so a later flush
+                # rewrites them (the fault is latched once-per-run) and
+                # this run's own reads never adopt the damaged file.
+                self._cache[part.index] = cols
+                self._dirty.add(part.index)
+
+    def _read_partition(self, part: Partition):
+        """Parse ``part.path``; any unreadable file (truncated, missing,
+        bad magic) surfaces as :class:`CorruptPartition` for the retry
+        layer, which rebuilds from the best surviving copy."""
+        try:
+            with open(part.path, "rb") as f:
+                return serialize.parse_columnar(f.read())
+        except serialize.CorruptPartition:
+            raise
+        except Exception as exc:
+            raise serialize.CorruptPartition(
+                f"unreadable partition file"
+                f" {os.path.basename(part.path)}: {exc}"
+            ) from exc
 
     def load(self, part: Partition) -> EdgeColumns:
         """Load a partition (cache-aware), folding in pending deltas."""
@@ -141,10 +199,18 @@ class PartitionStore:
             return cached
         parsed = None
         deltas = None
+        dropped = 0
         if self.prefetch is not None:
             metrics = self.stats.metrics
             wait_start = time.perf_counter() if metrics is not None else 0.0
-            got = self.prefetch.take(part.index, part.version)
+            try:
+                got = self.prefetch.take(part.index, part.version)
+            except serialize.CorruptPartition:
+                # Real damage, not a benign race: count it apart from
+                # plain misses and take the synchronous path, which
+                # salvages what it can (or raises for the retry layer).
+                self.stats.prefetch_corrupt += 1
+                got = None
             if metrics is not None:
                 metrics.observe(
                     "prefetch_wait_s", time.perf_counter() - wait_start
@@ -153,28 +219,28 @@ class PartitionStore:
                 self.stats.prefetch_misses += 1
             else:
                 self.stats.prefetch_hits += 1
-                parsed, deltas = got
+                parsed, deltas, dropped = got
         with self.stats.timing("io_time"):
             if parsed is None:
-                with open(part.path, "rb") as f:
-                    parsed = serialize.parse_columnar(f.read())
-                deltas = self._drain_delta(part)
-            elif deltas:
-                # The reader already parsed the delta frames; the version
-                # check guarantees nothing was appended since, so consume
-                # the file here (the reader never deletes).
-                if self.spill_writer is not None:
-                    self.spill_writer.flush(part.delta_path)
-                if os.path.exists(part.delta_path):
-                    os.remove(part.delta_path)
+                parsed = self._read_partition(part)
+                deltas = self._read_delta(part)
+                dropped = 0  # _read_delta counted its own
             cols = EdgeColumns.from_file(parsed, self.table)
+        if dropped:
+            self.stats.delta_frames_dropped += dropped
         added = 0
         for chunk in deltas:
             added += cols.merge_dict(chunk)
         if added:
             part.edge_count += added
             part.byte_estimate = cols.columnar_bytes()
-        self._cache_insert(part.index, cols, dirty=bool(added))
+        if deltas:
+            # The delta file's frames now live in the resident columns;
+            # the file itself stays until the next durable partition
+            # write (_save) makes it redundant.  Marking the entry dirty
+            # guarantees that write happens.
+            part.delta_folded = True
+        self._cache_insert(part.index, cols, dirty=bool(added or deltas))
         return cols
 
     def save(self, part: Partition, cols: EdgeColumns) -> None:
@@ -205,24 +271,62 @@ class PartitionStore:
             self._dirty.discard(index)
             self._save(self.partitions[index], self._cache[index])
 
-    def _drain_delta(self, part: Partition) -> list:
-        """Read and remove the pending delta file; a list of tuple-shaped
-        edge chunks (possibly empty)."""
+    def _read_delta(self, part: Partition) -> list:
+        """Read (without removing) the pending delta file; a list of
+        tuple-shaped edge chunks (possibly empty).
+
+        Truncated trailing frames -- the benign artifact of a crash
+        mid-append -- are dropped and counted.  Interior CRC or decode
+        failures are real corruption: the bad frames are discarded,
+        counted, and the partition's version is bumped so every pair
+        touching it recomputes (the lost derived edges re-derive; the
+        fixpoint is monotone).
+        """
         if self.spill_writer is not None:
             self.spill_writer.flush(part.delta_path)
         if not os.path.exists(part.delta_path):
             return []
         with open(part.delta_path, "rb") as f:
             data = f.read()
-        os.remove(part.delta_path)
+        payloads, dropped, corrupt = serialize.split_frames(data)
         chunks = []
-        pos = 0
-        while pos < len(data):
-            length = int.from_bytes(data[pos : pos + 4], "little")
-            pos += 4
-            chunks.append(serialize.decode_partition(data[pos : pos + length]))
-            pos += length
+        for payload in payloads:
+            try:
+                chunks.append(serialize.decode_partition(payload))
+            except Exception:
+                corrupt += 1
+        if dropped:
+            self.stats.delta_frames_dropped += dropped
+        if corrupt:
+            self.stats.delta_frames_corrupt += corrupt
+            part.version += 1
         return chunks
+
+    def rebuild(self, part: Partition) -> bool:
+        """Rewrite a corrupt partition file from the best surviving copy.
+
+        Preference order: the resident cached columns (always current),
+        else a complete ``.tmp`` left behind by a torn rename (the
+        newest durable bytes; pending delta frames replay on the next
+        load because the interrupted save never removed them).  Returns
+        False when neither exists -- the caller quarantines.
+        """
+        cached = self._cache.get(part.index)
+        if cached is not None:
+            self._dirty.discard(part.index)
+            self._save(part, cached)
+            self.stats.partitions_rebuilt += 1
+            return True
+        tmp = f"{part.path}.tmp"
+        try:
+            with open(tmp, "rb") as f:
+                data = f.read()
+            serialize.parse_columnar(data)
+        except Exception:
+            return False
+        serialize.atomic_write_bytes(part.path, data)
+        self.stats.partitions_rebuilt += 1
+        return True
 
     def append_delta(self, part: Partition, chunk: dict) -> None:
         """Buffer new edges for a partition that is not currently loaded
@@ -244,9 +348,14 @@ class PartitionStore:
             if self.spill_writer is not None:
                 self.spill_writer.append(part.delta_path, data)
             else:
+                frame = serialize.encode_frame(data)
+                spec = self.faults.fire("delta-append")
+                if spec is not None:
+                    frame = self.faults.mutate_frame(spec, frame)
+                # One write call per frame: a crash truncates at most
+                # the trailing frame, which the reader drops.
                 with open(part.delta_path, "ab") as f:
-                    f.write(len(data).to_bytes(4, "little"))
-                    f.write(data)
+                    f.write(frame)
         part.version += 1
         part.edge_count += _count_edges(chunk)
         part.byte_estimate += _estimate_bytes(chunk)

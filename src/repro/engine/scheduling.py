@@ -80,6 +80,13 @@ class PairScheduler:
         processing started, as the serial loop always did)."""
         self.last_seen[pair] = captured
 
+    def restore(self, last_seen: dict) -> None:
+        """Adopt a checkpoint manifest's processed-pair frontier
+        (``--resume``): eligibility picks up exactly where the
+        checkpointed run left off, judged against the restored partition
+        versions."""
+        self.last_seen = dict(last_seen)
+
     def forget(self, index: int) -> None:
         """Drop history for every pair touching ``index`` (used after a
         split moved edges: those pairs must reprocess from scratch)."""

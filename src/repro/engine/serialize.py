@@ -46,11 +46,23 @@ element wire encoding: tag u8 (0 = interval, 1 = call, 2 = return,
 All integers are unsigned LEB128 varints.  Truncated or malformed input
 raises :class:`CorruptPartition` (a ``ValueError``) rather than leaking
 ``IndexError`` from the byte cursor.
+
+Durability primitives live here too: :func:`atomic_write_bytes` is the
+write-temp -> fsync -> ``os.replace`` helper every partition/manifest
+write goes through (a crash can only ever leave the previous complete
+version, never a truncated file), and delta files are sequences of
+*checksummed* frames (:func:`encode_frame` / :func:`split_frames`): a
+4-byte length, a CRC-32 of the payload, then the payload, appended in a
+single ``write`` call.  A crash mid-append leaves a truncated tail frame
+that the reader detects and drops; a CRC mismatch on an interior frame
+is real corruption and is reported separately so the retry layer can
+force the affected partition's pairs to recompute.
 """
 
 from __future__ import annotations
 
 import io
+import os
 import zlib
 from array import array
 from dataclasses import dataclass
@@ -127,6 +139,73 @@ def maybe_decompress(data: bytes) -> bytes:
 def compress_payload(data: bytes, level: int = 1) -> bytes:
     """Wrap an encoded partition payload in a ``GRPZ`` zlib frame."""
     return ZMAGIC + zlib.compress(data, level)
+
+
+# -- durability primitives -----------------------------------------------------
+
+#: Delta frame header: u32 LE payload length + u32 LE CRC-32 of payload.
+FRAME_HEADER_BYTES = 8
+
+
+def atomic_write_bytes(path: str, data: bytes, replace: bool = True) -> str:
+    """Durably replace ``path`` with ``data``: write a temp file in the
+    same directory, flush + fsync it, then ``os.replace`` over the
+    target.  A crash at any point leaves either the old complete file or
+    the new complete file -- never a truncated mix.  Returns the temp
+    path (``replace=False`` skips the rename; fault injection uses it to
+    simulate a crash between write and rename)."""
+    tmp = f"{path}.tmp"
+    with open(tmp, "wb") as f:
+        f.write(data)
+        f.flush()
+        os.fsync(f.fileno())
+    if not replace:
+        return tmp
+    os.replace(tmp, path)
+    return tmp
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """One checksummed delta frame: length, CRC-32, payload."""
+    return (
+        len(payload).to_bytes(4, "little")
+        + (zlib.crc32(payload) & 0xFFFFFFFF).to_bytes(4, "little")
+        + payload
+    )
+
+
+def split_frames(data: bytes) -> tuple[list[bytes], int, int]:
+    """Parse a delta file's frames: ``(payloads, dropped, corrupt)``.
+
+    ``dropped`` counts truncated *trailing* frames (header or payload cut
+    short -- the benign artifact of a crash mid-append; everything after
+    the cut is unreadable and discarded).  ``corrupt`` counts interior
+    frames whose CRC does not match their payload (real corruption: the
+    frame is skipped but parsing continues at the next boundary, and the
+    caller must treat the file's partition as needing recomputation).
+    """
+    payloads: list[bytes] = []
+    dropped = 0
+    corrupt = 0
+    pos = 0
+    n = len(data)
+    while pos < n:
+        if pos + FRAME_HEADER_BYTES > n:
+            dropped += 1
+            break
+        length = int.from_bytes(data[pos : pos + 4], "little")
+        crc = int.from_bytes(data[pos + 4 : pos + 8], "little")
+        end = pos + FRAME_HEADER_BYTES + length
+        if end > n:
+            dropped += 1
+            break
+        payload = data[pos + FRAME_HEADER_BYTES : end]
+        if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+            corrupt += 1
+        else:
+            payloads.append(payload)
+        pos = end
+    return payloads, dropped, corrupt
 
 
 # -- shared element wire encoding ---------------------------------------------

@@ -71,8 +71,25 @@ class EngineStats:
     # frames written through the background spill writer.
     prefetch_hits: int = stat_field()
     prefetch_misses: int = stat_field()
+    # Prefetched reads that failed on *corrupt* bytes (CorruptPartition),
+    # counted separately from benign misses (version races, cold starts)
+    # so real damage is visible and reaches the retry layer.
+    prefetch_corrupt: int = stat_field()
     spill_frames: int = stat_field()
     spill_bytes: int = stat_field()
+    # Fault tolerance: truncated trailing delta frames dropped on read
+    # (benign crash artifacts), interior delta frames discarded on CRC or
+    # decode failure (real corruption; the partition's pairs recompute),
+    # pair-task retries, pairs degraded to a warning after retry
+    # exhaustion, partitions rebuilt from their resident cached copy, and
+    # checkpoint manifests written (coordinator-side).
+    delta_frames_dropped: int = stat_field()
+    delta_frames_corrupt: int = stat_field()
+    retries: int = stat_field(scope="coordinator")
+    pairs_quarantined: int = stat_field(scope="coordinator")
+    partitions_rebuilt: int = stat_field(scope="coordinator")
+    partitions_quarantined: int = stat_field(scope="coordinator")
+    checkpoints_written: int = stat_field(scope="coordinator")
     # Merge-join frontier drain: rounds processed and distinct join
     # vertices probed against the right-hand sorted runs.
     join_batches: int = stat_field()

@@ -25,6 +25,7 @@ KNOWN_SPANS = (
     "closure", "iteration", "wave", "pair-compute",
     "prefetch", "spill", "repartition", "smt-solve",
     "sa-fold", "sa-dse", "sa-relevance", "sa-compress",
+    "checkpoint", "retry",
 )
 
 _TIMING_KEYS = ("preprocess_s", "computation_s", "total_s")

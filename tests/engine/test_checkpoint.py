@@ -1,0 +1,139 @@
+"""Tests for checkpoint manifests and --resume (repro.engine.checkpoint)."""
+
+import json
+import os
+
+import pytest
+
+from repro import EngineOptions, Grapple, GrappleOptions
+from repro.checkers.checker import Checker
+from repro.engine import checkpoint as ckpt
+from repro.engine.computation import GraphEngine
+from repro.workloads import build_subject
+
+CHECKER = "io"
+
+
+def _run(workdir, *, resume=False, scale=0.2, **engine_kw):
+    subject = build_subject("zookeeper", scale=scale)
+    options = GrappleOptions(
+        engine=EngineOptions(
+            workdir=str(workdir) if workdir is not None else None,
+            resume=resume,
+            **engine_kw,
+        )
+    )
+    fsm = Checker.by_name(CHECKER).fsm
+    return Grapple(subject.source, [fsm], options).run()
+
+
+def test_run_writes_complete_manifest_per_phase(tmp_path):
+    run = _run(tmp_path)
+    assert run.stats.checkpoints_written > 0
+    for phase in ("alias", "dataflow"):
+        manifest = ckpt.load_manifest(str(tmp_path / phase))
+        assert manifest is not None, phase
+        assert manifest["complete"] is True
+        assert manifest["phase"] == phase
+        assert manifest["partitions"]
+        assert manifest["stats"]["pairs_processed"] > 0
+        # Partition paths are workdir-relative (the directory can move).
+        for desc in manifest["partitions"]:
+            assert "/" not in desc["path"]
+
+
+def test_no_workdir_means_no_checkpoints(tmp_path):
+    run = _run(None)
+    assert run.stats.checkpoints_written == 0
+
+
+def test_resume_from_complete_manifest_matches(tmp_path):
+    first = _run(tmp_path)
+    again = _run(tmp_path, resume=True)
+    assert [w for w in again.report.warnings] == [
+        w for w in first.report.warnings
+    ]
+    # The restored stats mirror the original run's (the closure itself
+    # was skipped, so no new counters accumulated past them).
+    assert again.stats.pairs_processed == first.stats.pairs_processed
+    assert again.stats.edges_after == first.stats.edges_after
+
+
+def test_resume_refuses_changed_config(tmp_path):
+    _run(tmp_path)
+    with pytest.raises(ckpt.CheckpointMismatch):
+        _run(tmp_path, resume=True, witness_cap=1)
+
+
+def test_resume_refuses_vertex_digest_mismatch(tmp_path):
+    """A manifest from a different subject (here: a doctored digest --
+    the front end's relevance slicing makes cosmetic source edits
+    converge to the same graph) must be refused."""
+    _run(tmp_path)
+    path = tmp_path / "alias" / ckpt.MANIFEST
+    manifest = json.loads(path.read_text())
+    manifest["vertices"] = "0" * 64
+    path.write_text(json.dumps(manifest))
+    with pytest.raises(ckpt.CheckpointMismatch):
+        _run(tmp_path, resume=True)
+
+
+def test_missing_manifest_is_fresh_run(tmp_path):
+    run = _run(tmp_path, resume=True)  # nothing to resume from
+    assert run.stats.pairs_processed > 0
+
+
+def test_garbage_manifest_is_fresh_run(tmp_path):
+    _run(tmp_path)
+    for phase in ("alias", "dataflow"):
+        with open(tmp_path / phase / ckpt.MANIFEST, "w") as f:
+            f.write("{not json")
+    run = _run(tmp_path, resume=True)
+    assert run.stats.pairs_processed > 0
+
+
+def test_fresh_run_clears_stale_workdir_state(tmp_path):
+    """Re-running *without* --resume in a reused workdir must not fold
+    a previous run's partition or delta files into the new run."""
+    first = _run(tmp_path)
+    again = _run(tmp_path)  # resume=False: start over in the same dir
+    assert [w for w in again.report.warnings] == [
+        w for w in first.report.warnings
+    ]
+
+
+def test_delta_size_mismatch_bumps_version(tmp_path):
+    _run(tmp_path)
+    phase_dir = str(tmp_path / "dataflow")
+    manifest = ckpt.load_manifest(phase_dir)
+    desc = manifest["partitions"][0]
+    # Simulate frames appended after the manifest was written.
+    with open(os.path.join(phase_dir, desc["delta_path"]), "ab") as f:
+        f.write(b"\x01")
+
+    class StoreStub:
+        workdir = phase_dir
+        partitions = []
+
+    store = StoreStub()
+    ckpt.restore_store(manifest, store)
+    assert store.partitions[0].version == desc["version"] + 1
+
+
+def test_label_table_roundtrips_tuples(tmp_path):
+    _run(tmp_path)
+    manifest = ckpt.load_manifest(str(tmp_path / "dataflow"))
+    labels = manifest["labels"]
+    assert labels  # JSON lists stand in for tuples...
+    restored = [ckpt._untuple(label) for label in labels]
+    assert all(
+        not isinstance(label, list) or isinstance(restored[i], tuple)
+        for i, label in enumerate(labels)
+    )
+
+
+def test_manifest_is_valid_json_with_format_tag(tmp_path):
+    _run(tmp_path)
+    with open(tmp_path / "alias" / ckpt.MANIFEST) as f:
+        manifest = json.load(f)
+    assert manifest["format"] == ckpt.FORMAT

@@ -1,0 +1,286 @@
+"""Crash-recovery tests: partition rebuilds, delta-tail tolerance, retry
+exhaustion, seeded fault plans, and the kill -9 / --resume round trip."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.cfet import encoding as enc
+from repro.cfet.icfet import build_icfet
+from repro.engine import serialize
+from repro.engine.computation import EngineOptions, GraphEngine
+from repro.engine.partition import PartitionStore
+from repro.grammar.cfg_grammar import Grammar
+from repro.graph.model import ProgramGraph
+from repro.lang.parser import parse_program
+from repro.lang.transform import lower_exceptions, normalize_calls, unroll_loops
+
+
+@pytest.fixture()
+def icfet():
+    program = parse_program("func main(x) { if (x > 0) { } return; }")
+    normalize_calls(program)
+    unroll_loops(program)
+    lower_exceptions(program)
+    return build_icfet(program)
+
+
+class ChainGrammar(Grammar):
+    table_driven = True
+
+    def compose(self, edge1, edge2, ctx):
+        if edge1[2] == ("a",) and edge2[2] == ("a",):
+            return (("a",),)
+        return ()
+
+
+def chain(n):
+    graph = ProgramGraph()
+    for i in range(n):
+        graph.vertices.intern(("v", i))
+    for i in range(n - 1):
+        graph.add_edge(i, i + 1, ("a",), enc.single("main", 0))
+    return graph
+
+
+def _store(tmp_path, **kw):
+    store = PartitionStore(str(tmp_path), memory_budget=1 << 20,
+                           cache_slots=2, **kw)
+    store.initialize(
+        {0: {(1, 0): {(("I", "f", 0, 0),)}},
+         1: {(2, 0): {(("I", "g", 0, 0),)}}},
+        num_vertices=4, min_partitions=1,
+    )
+    return store
+
+
+# -- partition rebuild ---------------------------------------------------------
+
+
+def test_rebuild_from_cached_copy(tmp_path):
+    store = _store(tmp_path)
+    part = store.partitions[0]
+    store.load(part)  # populate the write-back cache
+    assert store.is_cached(part)
+    with open(part.path, "wb") as f:
+        f.write(b"NOPE" + b"\x00" * 8)  # torn write hit the file
+    assert store.rebuild(part) is True
+    assert store.stats.partitions_rebuilt == 1
+    store._cache.clear()
+    store._dirty.clear()
+    assert store.load(part).to_dict()  # file is readable again
+
+
+def test_rebuild_from_torn_rename_temp(tmp_path):
+    store = _store(tmp_path)
+    part = store.partitions[0]
+    good = open(part.path, "rb").read()
+    # A torn rename: the new bytes reached <path>.tmp, the switch-over
+    # never happened, and (say) the cached copy was since evicted...
+    serialize.atomic_write_bytes(part.path, good, replace=False)
+    with open(part.path, "wb") as f:
+        f.write(b"NOPE")
+    store._cache.clear()
+    store._dirty.clear()
+    assert store.rebuild(part) is True
+    assert open(part.path, "rb").read() == good
+    assert store.load(part).to_dict()
+
+
+def test_rebuild_fails_with_no_surviving_copy(tmp_path):
+    store = _store(tmp_path)
+    part = store.partitions[0]
+    store._cache.clear()
+    store._dirty.clear()
+    with open(part.path, "wb") as f:
+        f.write(b"NOPE")
+    assert store.rebuild(part) is False
+    assert store.stats.partitions_rebuilt == 0
+
+
+# -- delta-file damage tolerance -----------------------------------------------
+
+
+def _delta_chunk(src, dst):
+    return {src: {(dst, 0): {(("I", "d", 0, 0),)}}}
+
+
+def test_truncated_delta_tail_dropped_on_load(tmp_path):
+    """A crash mid-append leaves a short trailing frame; the intact
+    frames before it must still fold, and the run must not abort."""
+    store = _store(tmp_path)
+    store.flush()
+    part = store.partitions[0]
+    intact = serialize.encode_frame(
+        serialize.encode_partition(_delta_chunk(0, 3))
+    )
+    torn = serialize.encode_frame(
+        serialize.encode_partition(_delta_chunk(1, 3))
+    )[:-3]
+    with open(part.delta_path, "wb") as f:
+        f.write(intact + torn)
+    store._cache.clear()
+    cols = store.load(part)
+    assert (0, 3) in {(s, d) for s, d, _l, _e in cols.iter_rows()}
+    assert store.stats.delta_frames_dropped == 1
+    assert store.stats.delta_frames_corrupt == 0
+
+
+def test_corrupt_delta_frame_skipped_and_version_bumped(tmp_path):
+    store = _store(tmp_path)
+    store.flush()
+    part = store.partitions[0]
+    version_before = part.version
+    bad = bytearray(
+        serialize.encode_frame(serialize.encode_partition(_delta_chunk(0, 3)))
+    )
+    bad[-1] ^= 0xFF
+    good = serialize.encode_frame(
+        serialize.encode_partition(_delta_chunk(1, 3))
+    )
+    with open(part.delta_path, "wb") as f:
+        f.write(bytes(bad) + good)
+    store._cache.clear()
+    cols = store.load(part)
+    rows = {(s, d) for s, d, _l, _e in cols.iter_rows()}
+    assert (1, 3) in rows  # the good frame survived the bad one
+    assert store.stats.delta_frames_corrupt == 1
+    # The lost edges must be re-derived: the version bump makes every
+    # pair touching this partition eligible again.
+    assert part.version == version_before + 1
+
+
+def test_delta_file_survives_until_fold_is_durable(tmp_path):
+    """The delta file may only disappear after the folded partition was
+    atomically rewritten -- never at fold time."""
+    store = _store(tmp_path)
+    store.flush()
+    part = store.partitions[0]
+    data = serialize.encode_partition(_delta_chunk(0, 3))
+    with open(part.delta_path, "wb") as f:
+        f.write(serialize.encode_frame(data))
+    store._cache.clear()
+    store.load(part)  # folds the delta into the cached columns
+    assert os.path.exists(part.delta_path)
+    store.flush()  # durable rewrite: now (and only now) it may go
+    assert not os.path.exists(part.delta_path)
+
+
+# -- retry / quarantine --------------------------------------------------------
+
+
+def test_retry_exhaustion_quarantines_pair(tmp_path, icfet, capsys):
+    options = EngineOptions(
+        workdir=str(tmp_path), memory_budget=1 << 20, max_retries=1
+    )
+    engine = GraphEngine(icfet, ChainGrammar(), options)
+    engine.run(chain(12))
+    store = engine._store
+    part = store.partitions[0]
+    # Damage partition 0 beyond recovery: no cached copy, no temp file.
+    store._cache.clear()
+    store._dirty.clear()
+    with open(part.path, "wb") as f:
+        f.write(b"NOPE")
+    try:
+        os.remove(part.path + ".tmp")
+    except FileNotFoundError:
+        pass
+    if store.prefetch is not None:
+        store.prefetch.invalidate(part.index)
+
+    pair = (part.index, part.index)
+    engine._attempt_pair(pair)
+    err = capsys.readouterr().err
+    assert "unrecoverable" in err
+    assert "giving up on partition pair" in err
+    assert engine.stats.retries == 1
+    assert engine.stats.pairs_quarantined == 1
+    assert engine.stats.partitions_quarantined == 1
+    assert part.index in engine._quarantined_parts
+    # Further pairs touching the quarantined partition return silently.
+    engine._attempt_pair(pair)
+    assert engine.stats.pairs_quarantined == 1
+
+
+def test_seeded_fault_plan_self_heals(tmp_path, icfet):
+    """A run under write faults must finish and compute the same closure
+    as a clean run (the store re-caches damaged partitions and rewrites
+    them on the next flush)."""
+    clean = GraphEngine(
+        icfet, ChainGrammar(), EngineOptions(memory_budget=1 << 20)
+    ).run(chain(16))
+    want = {(s, d) for s, d, _l, _e in clean.iter_edges()}
+
+    options = EngineOptions(
+        workdir=str(tmp_path), memory_budget=1 << 20,
+        fault_plan="short_write@partition-write:2,"
+                   "torn_rename@partition-write:3,"
+                   "bad_frame@delta-append:1",
+    )
+    faulted = GraphEngine(icfet, ChainGrammar(), options).run(chain(16))
+    got = {(s, d) for s, d, _l, _e in faulted.iter_edges()}
+    assert got == want
+
+
+# -- kill -9 and resume --------------------------------------------------------
+
+_SUBJECT_PROG = """\
+import sys
+from repro import Grapple, GrappleOptions, EngineOptions
+from repro.checkers.checker import ALL_CHECKERS, Checker
+from repro.workloads import build_subject
+
+workdir, resume, fault_plan, workers = sys.argv[1:5]
+subject = build_subject("zookeeper", scale=0.3)
+options = GrappleOptions(
+    engine=EngineOptions(
+        workdir=workdir,
+        resume=resume == "1",
+        fault_plan=fault_plan or None,
+        workers=int(workers),
+        parallel_dispatch="fork",
+    )
+)
+fsms = [Checker.by_name(n).fsm for n in ALL_CHECKERS]
+run = Grapple(subject.source, fsms, options).run()
+for warning in run.report.warnings:
+    print(warning)
+print(run.report.summary())
+"""
+
+
+def _subject_run(tmp_path, workdir, *, resume=False, fault_plan="",
+                 workers=4):
+    env = dict(
+        os.environ,
+        PYTHONPATH=os.pathsep.join(sys.path),
+        PYTHONHASHSEED="0",  # cross-process determinism for the diff
+    )
+    return subprocess.run(
+        [sys.executable, "-c", _SUBJECT_PROG, str(workdir),
+         "1" if resume else "0", fault_plan, str(workers)],
+        env=env, capture_output=True, text=True, timeout=600,
+    )
+
+
+@pytest.mark.slow
+def test_kill9_resume_matches_uninterrupted_run(tmp_path):
+    """SIGKILL a 4-worker closure at a seeded checkpoint, resume it, and
+    require byte-identical warnings and TP/FP accounting."""
+    workdir = tmp_path / "wd"
+    killed = _subject_run(
+        tmp_path, workdir, fault_plan="kill_run@checkpoint:2"
+    )
+    assert killed.returncode == -9, killed.stderr[-2000:]
+    assert json.load(open(workdir / "alias" / "checkpoint.json"))
+
+    resumed = _subject_run(tmp_path, workdir, resume=True)
+    assert resumed.returncode == 0, resumed.stderr[-2000:]
+
+    clean = _subject_run(tmp_path, tmp_path / "wd-clean")
+    assert clean.returncode == 0, clean.stderr[-2000:]
+    assert resumed.stdout == clean.stdout

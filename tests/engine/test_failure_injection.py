@@ -74,7 +74,9 @@ def test_missing_partition_file_raises(tmp_path):
     part = store.partitions[0]
     os.remove(part.path)
     store._cache.clear()
-    with pytest.raises(FileNotFoundError):
+    # A vanished file is indistinguishable from a torn one: both surface
+    # as CorruptPartition so the retry layer can attempt a rebuild.
+    with pytest.raises(serialize.CorruptPartition):
         store.load(part)
 
 

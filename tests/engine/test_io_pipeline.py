@@ -26,9 +26,10 @@ def test_prefetch_hit(part_file, tmp_path):
         reader.schedule(0, 3, part_file, str(tmp_path / "none.delta"))
         got = reader.take(0, 3)
         assert got is not None
-        parsed, deltas = got
+        parsed, deltas, dropped = got
         assert parsed.to_dict() == EDGES
         assert deltas == []
+        assert dropped == 0
         # An entry can be claimed only once.
         assert reader.take(0, 3) is None
     finally:
@@ -48,13 +49,13 @@ def test_prefetch_reads_delta_frames_without_consuming(part_file, tmp_path):
     delta_path = str(tmp_path / "part.delta")
     payload = serialize.encode_partition(DELTA)
     with open(delta_path, "wb") as f:
-        f.write(len(payload).to_bytes(4, "little"))
-        f.write(payload)
+        f.write(serialize.encode_frame(payload))
     reader = PrefetchReader()
     try:
         reader.schedule(0, 1, part_file, delta_path)
-        parsed, deltas = reader.take(0, 1)
+        parsed, deltas, dropped = reader.take(0, 1)
         assert deltas == [DELTA]
+        assert dropped == 0
         assert os.path.exists(delta_path)  # consumer owns the file
     finally:
         reader.close()
@@ -93,23 +94,15 @@ def test_spill_writer_roundtrip(tmp_path, compress):
     writer.flush(path)
     with open(path, "rb") as f:
         data = f.read()
-    decoded = []
-    pos = 0
-    while pos < len(data):
-        length = int.from_bytes(data[pos:pos + 4], "little")
-        pos += 4
-        frame = data[pos:pos + length]
-        pos += length
-        if compress:
-            assert frame[:4] == serialize.ZMAGIC
-        decoded.append(serialize.decode_partition(frame))
+    payloads, dropped, corrupt = serialize.split_frames(data)
+    assert (dropped, corrupt) == (0, 0)
+    if compress:
+        assert all(p[:4] == serialize.ZMAGIC for p in payloads)
+    decoded = [serialize.decode_partition(p) for p in payloads]
     assert decoded == [serialize.decode_partition(c) for c in chunks]
     writer.close()
     assert writer.frames_written == 5
-    assert writer.bytes_written == sum(
-        len(serialize.compress_payload(c)) if compress else len(c)
-        for c in chunks
-    )
+    assert writer.bytes_written == len(data)
 
 
 def test_spill_writer_pending_and_flush_all(tmp_path):

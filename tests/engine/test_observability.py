@@ -72,7 +72,9 @@ def test_merge_field_classification_is_exhaustive():
     # Coordinator-only bookkeeping must never be double-counted.
     assert {"waves", "pairs_skipped", "iterations", "repartitions",
             "edges_before", "edges_after", "vertices",
-            "final_partitions"} == coordinator
+            "final_partitions", "retries", "pairs_quarantined",
+            "partitions_rebuilt", "partitions_quarantined",
+            "checkpoints_written"} == coordinator
     # Anything else must be an explicitly non-counter kind, not a
     # forgotten field.
     assert other == {"timed_out", "metrics"}
