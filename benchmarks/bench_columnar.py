@@ -69,7 +69,9 @@ def _measure_in_this_process(scale: float, budget_mb: int) -> dict:
         ),
     }
     for name in ("prefetch_hits", "prefetch_misses", "join_batches",
-                 "join_probes", "spill_frames", "spill_bytes"):
+                 "join_probes", "spill_frames", "spill_bytes",
+                 "kernel_batches", "batch_fill", "feasibility_groups",
+                 "group_hits"):
         if hasattr(stats, name):
             entry[name] = getattr(stats, name)
     if hasattr(stats, "prefetch_hit_rate"):
@@ -154,10 +156,27 @@ def measure_current() -> dict:
     return report
 
 
+#: Single-worker prefetch hit rate recorded with the lookahead depth of 2
+#: (before ``EngineOptions.prefetch_depth`` deepened it to 4): 4 of 14
+#: loads were served from the background reader.
+PR4_PREFETCH_HIT_RATE = 0.286
+
+
 def smoke() -> dict:
     """Tiny-scale end-to-end exercise for CI: no timings recorded."""
     entry = _measure_in_subprocess(TINY_SCALE, TINY_BUDGET_MB)
     assert entry["warnings"] > 0, "tiny run produced no findings"
+    assert entry.get("kernel_batches", 0) > 0, (
+        "batched closure kernel never engaged (kernel_batches == 0)"
+    )
+    assert entry["batch_fill"] >= entry["kernel_batches"]
+    assert entry["group_hits"] > 0, "grouped feasibility produced no hits"
+    loads = entry.get("prefetch_hits", 0) + entry.get("prefetch_misses", 0)
+    if loads:
+        assert entry["prefetch_hit_rate"] > PR4_PREFETCH_HIT_RATE, (
+            f"prefetch hit rate {entry['prefetch_hit_rate']} regressed below"
+            f" the depth-2 baseline {PR4_PREFETCH_HIT_RATE}"
+        )
     sys.path.insert(0, os.path.join(ROOT, "src"))
     from repro.obs.report import validate_run_report
 

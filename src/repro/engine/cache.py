@@ -34,6 +34,13 @@ class LRUCache:
         self.hits += 1
         return value
 
+    def peek(self, key):
+        """The cached value, or None -- without recency promotion or
+        hit/miss accounting.  The batched kernel uses this to predict
+        whether a future query will miss, which must not disturb the
+        state that query will observe."""
+        return self._data.get(key)
+
     def put(self, key, value) -> None:
         self._data[key] = value
         self._data.move_to_end(key)

@@ -86,7 +86,7 @@ class EdgeColumns:
 
     __slots__ = (
         "table", "src", "dst", "label", "enc",
-        "extra", "_extra_rows", "_probe", "_bytes",
+        "extra", "_extra_rows", "_probe", "_bytes", "_kcache",
     )
 
     def __init__(self, table: EncodingTable) -> None:
@@ -99,6 +99,10 @@ class EdgeColumns:
         self._extra_rows = 0
         self._probe: dict[int, dict[tuple, set[int]]] = {}
         self._bytes = 0
+        # Batched-kernel views of the base columns (engine/kernel.py);
+        # validated against the ``src`` array's identity, so compaction
+        # and splits -- which replace the arrays -- invalidate it.
+        self._kcache = None
 
     # -- construction ---------------------------------------------------------
 
@@ -323,6 +327,7 @@ class EdgeColumns:
         self.extra = {}
         self._extra_rows = 0
         self._probe = {}
+        self._kcache = None
 
     def split_at(self, mid: int) -> tuple["EdgeColumns", "EdgeColumns"]:
         """Split into (sources < mid, sources >= mid) after compacting."""

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from repro.cfet import encoding as enc_mod
 from repro.cfet.icfet import Icfet
 from repro.engine import checkpoint as ckpt
+from repro.engine import kernel as kernel_mod
 from repro.engine import serialize
 from repro.engine.cache import FeasibilityMemo, LRUCache
 from repro.engine.columnar import EncodingTable
@@ -122,6 +123,17 @@ class EngineOptions:
     resume: bool = False
     max_retries: int = 2
     fault_plan: object = None
+    # Batched closure kernel (engine/kernel.py).  ``kernel`` selects the
+    # backend: "auto" uses numpy when installed and the pure-stdlib
+    # fallback otherwise (both bit-identical), "numpy"/"stdlib" force
+    # one, "off" keeps the scalar drain.  ``batch_size`` bounds how many
+    # composed candidates one grouped-feasibility chunk holds.
+    kernel: str = "auto"
+    batch_size: int = 2048
+    # How many upcoming scheduled pairs the serial loop hands to the
+    # background prefetcher each iteration (deeper lookahead keeps the
+    # reader busy across pairs whose partitions were already resident).
+    prefetch_depth: int = 4
 
 
 @dataclass
@@ -218,6 +230,23 @@ class GraphEngine:
         self._rel_tgt_memo: dict = {}  # label id -> bool
         self._derived_memo: dict = {}  # label id -> ((label id, rev), ...)
         self._table_driven = getattr(grammar, "table_driven", False)
+        # Batched kernel state (engine/kernel.py): the resolved backend
+        # (None = scalar drain), the canonical-form verdict memo shared
+        # by the lazy and grouped feasibility paths, per-id serialised
+        # constraint / form-key caches, and verdicts the kernel solved
+        # ahead of their insert-time query.
+        self._kernel = kernel_mod.resolve_backend(self.options.kernel)
+        self._form_memo: dict = {}  # canonical form text -> verdict
+        self._sexpr_cache: dict = {}  # enc id -> serialised constraint
+        self._form_key_cache: dict = {}  # enc id -> canonical form text
+        self._presolved: dict = {}  # enc id -> pre-solved verdict
+        self._derived_closure: dict = {}  # label id -> ((label id, flip), ...)
+        # True when tuple-keyed LRU entries were seeded from outside this
+        # process (parallel workers): then an id unknown to the feasible
+        # memo can still hit the LRU, and the kernel's pre-solve
+        # eligibility must peek the LRU before claiming a certain miss.
+        self._lru_external = False
+        self._split_epoch = 0
         # Optional callback ``(owner_index, src, dst, label_id, enc_id)``
         # invoked for every new edge inserted into a *loaded* partition;
         # the parallel worker uses it to report delta edges back to the
@@ -431,7 +460,8 @@ class GraphEngine:
             # change eligibility), so stale prefetches simply miss.
             if store.prefetch is not None:
                 busy = set(pair)
-                for upcoming in scheduler.peek_pairs(2):
+                depth = max(1, self.options.prefetch_depth)
+                for upcoming in scheduler.peek_pairs(depth):
                     for index in set(upcoming) - busy:
                         store.prefetch_schedule(store.partitions[index])
             if trace.enabled:
@@ -656,6 +686,12 @@ class GraphEngine:
         frontier: list = []
         self._seed_pair((i, j), loaded, parts, spills, dirty, frontier)
 
+        if self._kernel is not None:
+            kernel_mod.drain(self, loaded, parts, spills, dirty, frontier)
+            self._flush_spills(spills)
+            self._finalize_pair(loaded, parts, dirty)
+            return
+
         stats = self.stats
         rel_tgt = self._rel_tgt_id
         while frontier:
@@ -878,6 +914,7 @@ class GraphEngine:
         # Pending spills may be routed by stale boundaries; flush first.
         self._flush_spills(spills)
         spills.clear()
+        self._split_epoch += 1  # invalidates the kernel's round plan
         part, cols = parts[index], loaded[index]
         left, left_cols, right, _right_cols = self._store.split(part, cols)
         if right is None:
@@ -947,37 +984,106 @@ class GraphEngine:
 
     def _feasible_solve(self, ids: tuple, encodings: tuple) -> bool:
         """Memo-miss path: consult the tuple-keyed LRU (shareable across
-        processes), then decode and solve."""
+        processes), then the kernel's pre-solved verdicts and the
+        canonical-form memo, then decode and solve."""
         stats = self.stats
         self.solver.stats.memo_misses += 1
         memo_key = ids[0] if len(ids) == 1 else ids
         lru_key = encodings if len(encodings) == 1 else tuple(sorted(encodings))
-        if self.options.enable_cache:
+        enable_cache = self.options.enable_cache
+        if enable_cache:
             cached = self.cache.get(lru_key)
             if cached is not None:
                 stats.cache_hits += 1
                 self._feasible_memo.put(memo_key, cached)
                 return cached
+            if len(ids) == 1:
+                presolved = self._presolved.pop(memo_key, None)
+                if presolved is not None:
+                    # The batched kernel already decoded and solved this
+                    # constraint (charging the decode/solve counters);
+                    # only the cache writes are left.
+                    self.cache.put(lru_key, presolved)
+                    self._feasible_memo.put(memo_key, presolved)
+                    return presolved
         start = time.perf_counter()
-        constraints = []
         with stats.timing("encode_time"):
-            for eid in ids:
-                # The decode memo is part of the same memoisation story as
-                # the solve cache: Table 4's "without caching" runs redo
-                # the full lookup + solve on every query.
-                constraint = (
-                    self._decode_cache.get(eid)
-                    if self.options.enable_cache
-                    else None
+            constraints = [self._constraint_for(eid) for eid in ids]
+            form = self._form_key(ids, constraints) if enable_cache else None
+        if form is not None and form in self._form_memo:
+            # Alpha-equivalent constraint already solved: edges in
+            # different scopes share constraint shapes, so this is the
+            # common case once the closure warms up.
+            stats.group_hits += 1
+            result = self._form_memo[form]
+        else:
+            gave_up = self.solver.stats.gave_up
+            result = self._solve_formula(E.and_(*constraints))
+            if form is not None and self.solver.stats.gave_up == gave_up:
+                # A gave-up verdict is a conservative SAT, not a theorem
+                # about the form; memoising it could flip an
+                # alpha-equivalent query's answer.
+                stats.feasibility_groups += 1
+                self._form_memo[form] = result
+        stats.feasibility_time += time.perf_counter() - start
+        if enable_cache:
+            self.cache.put(lru_key, result)
+            self._feasible_memo.put(memo_key, result)
+        return result
+
+    def _constraint_for(self, eid: int):
+        """Decoded constraint of one encoding id, through the decode memo.
+
+        The decode memo is part of the same memoisation story as the
+        solve cache: Table 4's "without caching" runs redo the full
+        lookup + solve on every query.
+        """
+        enable_cache = self.options.enable_cache
+        constraint = self._decode_cache.get(eid) if enable_cache else None
+        if constraint is None:
+            constraint = self._decode(self._enc.decode(eid))
+            if enable_cache and len(self._decode_cache) < DECODE_CACHE_CAP:
+                self._decode_cache[eid] = constraint
+        return constraint
+
+    def _sexpr_for(self, eid: int, constraint) -> str:
+        text = self._sexpr_cache.get(eid)
+        if text is None:
+            from repro.smt.sexpr import serialize_expr
+
+            text = serialize_expr(constraint)
+            if len(self._sexpr_cache) < DECODE_CACHE_CAP:
+                self._sexpr_cache[eid] = text
+        return text
+
+    def _form_key(self, ids: tuple, constraints: list) -> str:
+        """Alpha-normalised canonical text of the ids' conjunction.
+
+        Keyed per id for the single-encoding hot path; multi-encoding
+        queries join the per-id serialisations and normalise jointly
+        (the renaming must be one bijection across the conjunction).
+        """
+        if len(ids) == 1:
+            eid = ids[0]
+            key = self._form_key_cache.get(eid)
+            if key is None:
+                key = kernel_mod.alpha_normalize(
+                    self._sexpr_for(eid, constraints[0])
                 )
-                if constraint is None:
-                    constraint = self._decode(self._enc.decode(eid))
-                    if (
-                        self.options.enable_cache
-                        and len(self._decode_cache) < DECODE_CACHE_CAP
-                    ):
-                        self._decode_cache[eid] = constraint
-                constraints.append(constraint)
+                if len(self._form_key_cache) < DECODE_CACHE_CAP:
+                    self._form_key_cache[eid] = key
+            return key
+        return kernel_mod.alpha_normalize(
+            " ".join(
+                self._sexpr_for(eid, constraint)
+                for eid, constraint in zip(ids, constraints)
+            )
+        )
+
+    def _solve_formula(self, formula) -> bool:
+        """One instrumented solver call (smt timing, trace span, latency
+        histogram) -- shared by the lazy path and the kernel's groups."""
+        stats = self.stats
         trace = self.trace
         metrics = stats.metrics
         with stats.timing("smt_time"):
@@ -987,7 +1093,7 @@ class GraphEngine:
                 if (trace.enabled or metrics is not None)
                 else 0.0
             )
-            result = self.solver.check(E.and_(*constraints)) is Result.SAT
+            result = self.solver.check(formula) is Result.SAT
             if solve_start:
                 if trace.enabled:
                     trace.end("smt-solve", solve_start, cat="smt", sat=result)
@@ -995,8 +1101,4 @@ class GraphEngine:
                     metrics.observe(
                         "solve_latency_s", time.perf_counter() - solve_start
                     )
-        stats.feasibility_time += time.perf_counter() - start
-        if self.options.enable_cache:
-            self.cache.put(lru_key, result)
-            self._feasible_memo.put(memo_key, result)
         return result

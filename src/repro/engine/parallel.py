@@ -278,6 +278,9 @@ class _WorkerEngine(GraphEngine):
     def __init__(self, icfet, grammar, options, graph, store=None):
         super().__init__(icfet, grammar, options)
         self.cache = _LoggingLRU(options.cache_capacity)
+        # Wave broadcasts seed this LRU with coordinator entries whose
+        # ids the local feasible memo has never seen.
+        self._lru_external = True
         self._graph = graph
         if store is not None:
             # Inline task: share the real store's interning so ids in
@@ -377,7 +380,13 @@ class _WorkerEngine(GraphEngine):
                     rhs.append(edge)
 
         stats = self.stats
+        from repro.engine import kernel as kernel_mod
+
         while frontier or rhs:
+            if frontier and self._kernel is not None:
+                # Same batched kernel as the serial engine, so serial
+                # and parallel runs stay byte-identical per path.
+                kernel_mod.drain(self, loaded, parts, spills, dirty, frontier)
             while frontier:
                 # Same merge-join drain as the serial engine: sort the
                 # round's left operands by join vertex, probe each

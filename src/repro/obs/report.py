@@ -57,6 +57,11 @@ def build_run_report(run, subject: str | None = None) -> dict:
         "histograms": snapshot["histograms"],
         "warnings": len(run.report.warnings),
     }
+    # ``waves`` counts parallel dispatch waves; a serial run has none,
+    # and reporting a hard zero next to a populated ``iterations`` reads
+    # as a stall.  Omit the counter when no wave was ever dispatched.
+    if not report["counters"].get("waves"):
+        report["counters"].pop("waves", None)
     reduction = getattr(run, "reduction", None)
     if reduction is not None:
         report["reduction"] = reduction.as_dict()

@@ -95,6 +95,26 @@ class Solver:
         """Check the conjunction of several formulas."""
         return self.check(E.and_(*formulas))
 
+    def check_batch(self, formulas, gave_up_flags: list | None = None):
+        """Check several independent formulas in one call.
+
+        Entry point for the engine's grouped feasibility checks
+        (``engine/kernel.py``): a batch of distinct canonical constraint
+        forms arrives together instead of one solver round-trip per
+        composed edge.  Each formula is charged to the same counters as
+        an individual :meth:`check`.  When ``gave_up_flags`` is given it
+        receives one bool per formula saying whether that check
+        exhausted the DPLL(T) iteration budget (such verdicts are
+        conservative and must not be memoised by form).
+        """
+        results = []
+        for formula in formulas:
+            before = self.stats.gave_up
+            results.append(self.check(formula))
+            if gave_up_flags is not None:
+                gave_up_flags.append(self.stats.gave_up != before)
+        return results
+
     def get_model(self, formula: E.Expr):
         """A satisfying assignment ``{name: Fraction|bool}``, or None.
 

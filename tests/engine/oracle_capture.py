@@ -43,7 +43,7 @@ def canonical_run(run) -> dict:
 
 
 def run_subject(name: str, scale: float, workers: int = 1,
-                reduce: bool = False):
+                reduce: bool = False, kernel: str = "auto"):
     from repro import EngineOptions, Grapple, GrappleOptions, default_checkers
     from repro.workloads import build_subject
 
@@ -53,7 +53,9 @@ def run_subject(name: str, scale: float, workers: int = 1,
     # pre-closure reductions stay off unless a test asks for them.
     options = GrappleOptions(
         reduce=reduce,
-        engine=EngineOptions(memory_budget=MEMORY_BUDGET, workers=workers),
+        engine=EngineOptions(
+            memory_budget=MEMORY_BUDGET, workers=workers, kernel=kernel
+        ),
     )
     return Grapple(source, fsms, options).run()
 

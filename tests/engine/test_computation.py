@@ -199,3 +199,23 @@ def test_result_collect_by_label(icfet):
     collected = result.collect_by_label(lambda label: label == ("a",))
     assert all(key[2] == ("a",) for key in collected)
     assert len(collected) == 3
+
+
+def test_prefetch_lookahead_uses_configured_depth(icfet, monkeypatch):
+    """The serial loop asks the scheduler for ``prefetch_depth`` upcoming
+    pairs (not the hardwired 2 it used before the option existed)."""
+    from repro.engine import scheduling
+
+    seen = []
+    original = scheduling.PairScheduler.peek_pairs
+
+    def recording_peek(self, count=1):
+        seen.append(count)
+        return original(self, count)
+
+    monkeypatch.setattr(scheduling.PairScheduler, "peek_pairs", recording_peek)
+    graph = build_chain(60, icfet)
+    options = EngineOptions(memory_budget=6 << 10, prefetch_depth=7)
+    GraphEngine(icfet, ChainGrammar(), options).run(graph)
+    assert seen, "prefetch lookahead never consulted the scheduler"
+    assert set(seen) == {7}

@@ -307,6 +307,21 @@ def test_run_report_schema_roundtrip():
     assert validate_run_report(broken)
 
 
+def test_run_report_omits_waves_for_serial_runs():
+    """A serial run dispatches no waves; reporting ``"waves": 0`` next to
+    a populated ``iterations`` reads as a stalled parallel run, so the
+    counter must be absent entirely (regression: serial reports used to
+    emit the hard zero)."""
+    source = build_subject("zookeeper", scale=0.3).source
+    serial = build_run_report(_run(source, workers=1))
+    assert "waves" not in serial["counters"]
+    assert serial["counters"]["iterations"] > 0
+    assert validate_run_report(serial) == []
+    parallel = build_run_report(_run(source, workers=2, dispatch="inline"))
+    assert parallel["counters"]["waves"] > 0
+    assert validate_run_report(parallel) == []
+
+
 def test_trace_coverage_summary():
     rec = TraceRecorder()
     with rec.span("closure"):

@@ -18,12 +18,19 @@ import pytest
 from .oracle_capture import SUBJECTS, canonical_run, golden_path, run_subject
 
 
+#: The batched-kernel matrix: the scalar drain, the pure-stdlib backend,
+#: and "auto" (numpy when installed, stdlib otherwise) must all land on
+#: the same fixpoint byte for byte, serial and parallel.
+KERNELS = ("off", "stdlib", "auto")
+
+
 @pytest.mark.parametrize("name,scale", SUBJECTS)
 @pytest.mark.parametrize("workers", [1, 4])
-def test_matches_pre_columnar_golden(name, scale, workers):
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_matches_pre_columnar_golden(name, scale, workers, kernel):
     with open(golden_path(name, scale)) as f:
         golden = json.load(f)
-    run = run_subject(name, scale, workers=workers)
+    run = run_subject(name, scale, workers=workers, kernel=kernel)
     got = canonical_run(run)
     assert got["warnings"] == golden["warnings"]
     assert got["edges"] == golden["edges"]
