@@ -5,6 +5,16 @@ with workers 1 (the serial engine), 2, and 4, and writes the measured
 wall-clocks to ``BENCH_parallel_scaling.json`` at the repository root so
 the perf trajectory is tracked across PRs.
 
+Worker counts above 1 force ``parallel_dispatch="fork"`` so the bench
+measures the real pool data plane (shared-memory columns, stratified
+waves, steal refills) rather than the inline fallback that ``"auto"``
+silently selects on small machines.  That makes host capacity part of
+the result: every configuration records the machine's real
+``os.cpu_count()`` and an ``oversubscribed`` flag (workers > cores), a
+run on an undersized host prints a warning, and the report carries the
+flags so a "speedup" measured with 4 workers time-slicing 1 core is
+never mistaken for real scaling.
+
 The configuration deliberately stresses the partition machinery: a large
 scale and a tight memory budget give the store a few dozen partitions,
 which is where the wave protocol's semi-naive delta seeding and the
@@ -52,7 +62,9 @@ def _measure_in_this_process(workers: int) -> dict:
     fsms = [c.fsm for c in default_checkers()]
     options = GrappleOptions(
         engine=EngineOptions(
-            memory_budget=MEMORY_BUDGET_MB << 20, workers=workers
+            memory_budget=MEMORY_BUDGET_MB << 20,
+            workers=workers,
+            parallel_dispatch="fork" if workers > 1 else "auto",
         )
     )
     start = time.perf_counter()
@@ -61,9 +73,14 @@ def _measure_in_this_process(workers: int) -> dict:
     fingerprint = sorted(
         (w.checker, w.kind, w.site, w.state) for w in run.report.warnings
     )
+    stats = run.stats
     return {
         "wall_s": round(wall, 3),
-        "pairs_processed": run.stats.pairs_processed,
+        "pairs_processed": stats.pairs_processed,
+        "pairs_stolen": stats.pairs_stolen,
+        "shm_publishes": stats.shm_publishes,
+        "worker_busy_s": round(stats.worker_busy_s, 3),
+        "worker_idle_s": round(stats.worker_idle_s, 3),
         "warnings": len(run.report.warnings),
         "fingerprint": fingerprint,
     }
@@ -84,6 +101,15 @@ def _measure_in_subprocess(workers: int) -> dict:
 
 
 def collect() -> dict:
+    cpu_count = os.cpu_count() or 1
+    oversubscribed = [w for w in WORKER_COUNTS if w > cpu_count]
+    if oversubscribed:
+        print(
+            f"bench_parallel_scaling: host has {cpu_count} CPU(s); worker"
+            f" counts {oversubscribed} are oversubscribed -- their"
+            " speedups measure time-slicing, not parallel scaling",
+            file=sys.stderr,
+        )
     samples: dict = {workers: [] for workers in WORKER_COUNTS}
     for _ in range(ROUNDS):
         for workers in WORKER_COUNTS:
@@ -101,22 +127,34 @@ def collect() -> dict:
         results[str(workers)] = {
             "wall_s": walls,
             "best_s": min(walls),
+            "oversubscribed": workers > cpu_count,
             "pairs_processed": runs[-1]["pairs_processed"],
+            "pairs_stolen": runs[-1]["pairs_stolen"],
+            "shm_publishes": runs[-1]["shm_publishes"],
+            "worker_busy_s": runs[-1]["worker_busy_s"],
+            "worker_idle_s": runs[-1]["worker_idle_s"],
             "warnings": runs[-1]["warnings"],
         }
     serial_best = results["1"]["best_s"]
-    return {
+    report = {
         "subject": SUBJECT,
         "scale": SCALE,
         "memory_budget_mb": MEMORY_BUDGET_MB,
         "rounds": ROUNDS,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
         "results": results,
         "speedup_vs_serial": {
             str(w): round(serial_best / results[str(w)]["best_s"], 3)
             for w in WORKER_COUNTS
         },
     }
+    if oversubscribed:
+        report["note"] = (
+            f"host has {cpu_count} CPU(s): worker counts {oversubscribed}"
+            " are oversubscribed and their speedups do not measure"
+            " parallel scaling (see per-config 'oversubscribed' flags)"
+        )
+    return report
 
 
 def write_report() -> dict:
@@ -131,18 +169,27 @@ def test_parallel_scaling(capsys):
     report = write_report()
     with capsys.disabled():
         print(f"\n=== Parallel scaling ({SUBJECT}, scale {SCALE}) ===")
+        print(f"cpu_count={report['cpu_count']}")
         for workers in WORKER_COUNTS:
             entry = report["results"][str(workers)]
             speedup = report["speedup_vs_serial"][str(workers)]
+            flag = " [oversubscribed]" if entry["oversubscribed"] else ""
             print(
                 f"workers={workers}: best {entry['best_s']:.2f}s"
                 f" ({speedup:.2f}x vs serial,"
-                f" {entry['pairs_processed']} pairs)"
+                f" {entry['pairs_processed']} pairs,"
+                f" {entry['pairs_stolen']} stolen){flag}"
             )
     for workers in WORKER_COUNTS:
         assert report["results"][str(workers)]["warnings"] == (
             report["results"]["1"]["warnings"]
         )
+    # Oversubscription must be stated, not inferred.
+    assert all(
+        (w <= report["cpu_count"])
+        != report["results"][str(w)]["oversubscribed"]
+        for w in WORKER_COUNTS
+    )
 
 
 if __name__ == "__main__":

@@ -66,6 +66,21 @@ def build_parser() -> argparse.ArgumentParser:
                        " forks worker processes, 'auto' falls back to"
                        " in-process dispatch on single-CPU machines,"
                        " 'inline' never forks (default fork)")
+    check.add_argument("--no-shm", action="store_true",
+                       help="disable the shared-memory data plane: pooled"
+                       " pairs' partitions are materialised to disk for"
+                       " workers instead of published as zero-copy"
+                       " /dev/shm column segments")
+    check.add_argument("--shard-by-source", default="auto",
+                       metavar="N|auto|off",
+                       help="order waves by contiguous source strata:"
+                       " 'auto' derives one stratum per pool slot, an"
+                       " integer fixes the stratum count, 'off' keeps"
+                       " the serial pair order (default auto)")
+    check.add_argument("--no-steal", action="store_true",
+                       help="keep the hard wave barrier: do not refill"
+                       " freed pool slots with further eligible pairs"
+                       " while a wave's results stream back")
     check.add_argument("--no-cache", action="store_true",
                        help="disable constraint memoisation")
     check.add_argument("--compress-spills", action="store_true",
@@ -145,6 +160,11 @@ def cmd_check(args) -> int:
         print("repro: --resume requires --workdir (a checkpoint can only"
               " live in a directory that survives the run)", file=sys.stderr)
         return 2
+    if args.shard_by_source not in ("auto", "off") \
+            and not args.shard_by_source.isdigit():
+        print("repro: --shard-by-source wants an integer, 'auto', or 'off'",
+              file=sys.stderr)
+        return 2
     fault_plan = None
     if args.fault_plan:
         from repro.faults import FaultPlan, FaultPlanError
@@ -162,6 +182,13 @@ def cmd_check(args) -> int:
             enable_cache=not args.no_cache,
             workers=args.workers,
             parallel_dispatch=args.dispatch,
+            shm=not args.no_shm,
+            shard_by_source=(
+                int(args.shard_by_source)
+                if args.shard_by_source.isdigit()
+                else args.shard_by_source
+            ),
+            steal=not args.no_steal,
             compress_spills=args.compress_spills,
             prefetch=not args.no_prefetch,
             kernel=args.kernel,

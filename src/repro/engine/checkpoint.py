@@ -92,7 +92,7 @@ def manifest_path(workdir: str) -> str:
 
 def write_manifest(workdir: str, *, phase: str, options, store,
                    last_seen: dict, stats, graph,
-                   complete: bool) -> str:
+                   complete: bool, steal_frontier: dict | None = None) -> str:
     """Atomically write the checkpoint manifest for one engine run."""
     parts = []
     for part in store.partitions:
@@ -134,6 +134,12 @@ def write_manifest(workdir: str, *, phase: str, options, store,
         "stats": scalars,
         "labels": [_jsonable(label) for _i, label in labels.items()],
     }
+    if steal_frontier is not None:
+        # Informational: waves end only once every dispatched (stolen
+        # included) pair is absorbed, so the frontier records how far
+        # the steal schedule had run at this quiescent point; resume
+        # correctness rests on last_seen alone.
+        manifest["steal_frontier"] = steal_frontier
     path = manifest_path(workdir)
     data = json.dumps(manifest, indent=1).encode()
     serialize.atomic_write_bytes(path, data)

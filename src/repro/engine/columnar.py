@@ -377,3 +377,46 @@ class EdgeColumns:
         return serialize.encode_columnar(
             self.src, self.dst, self.label, enc_local, encodings
         )
+
+
+class SharedEdgeColumns(EdgeColumns):
+    """Partition columns backed by a coordinator-published shm segment.
+
+    The ``src``/``dst``/``label`` base columns are zero-copy
+    ``memoryview`` casts over the attached segment; only ``enc`` is a
+    private ``array('q')`` because coordinator encoding ids must be
+    remapped to the worker's local :class:`EncodingTable` ids.  Every
+    read path (bisect runs, probes, kernel batches) works on the views
+    unchanged; mutation goes through the ``extra`` overlay as usual,
+    and :meth:`~EdgeColumns.compact` replaces the views with private
+    arrays, at which point the instance quietly stops being shared.
+
+    ``segment`` keeps the mapping alive exactly as long as the columns;
+    the attach cache (``engine/shm.py``) closes retired segments only
+    once their views are gone.
+    """
+
+    __slots__ = ("segment",)
+
+    @classmethod
+    def attach(cls, segment, header_size: int, rows: int, remap,
+               table: EncodingTable) -> "SharedEdgeColumns":
+        cols = cls(table)
+        cols.segment = segment
+        width = rows * 8
+        view = memoryview(segment.buf)
+        offset = header_size
+        cols.src = view[offset:offset + width].cast("q")
+        offset += width
+        cols.dst = view[offset:offset + width].cast("q")
+        offset += width
+        cols.label = view[offset:offset + width].cast("q")
+        offset += width
+        coord_enc = view[offset:offset + width].cast("q")
+        cols.enc = array("q", map(remap.__getitem__, coord_enc))
+        coord_enc.release()
+        if table.has_extras():
+            cols._bytes = sum(map(table.row_bytes, cols.enc))
+        else:
+            cols._bytes = ROW_BYTES * rows
+        return cols

@@ -134,6 +134,20 @@ class EngineOptions:
     # background prefetcher each iteration (deeper lookahead keeps the
     # reader busy across pairs whose partitions were already resident).
     prefetch_depth: int = 4
+    # Parallel data plane (engine/shm.py, DESIGN.md §13).  ``shm``
+    # publishes pooled pairs' partitions as named shared-memory column
+    # segments that workers map zero-copy (--no-shm falls back to the
+    # materialise-to-disk protocol; also the automatic fallback wherever
+    # POSIX shared memory is unavailable).  ``shard_by_source`` orders
+    # waves by contiguous source strata ("auto" = one stratum per pool
+    # slot, an int fixes the count, 0/"off" keeps the serial pair
+    # order).  ``steal`` lets the coordinator refill freed pool slots
+    # with further eligible pairs while a wave's results stream back
+    # (deterministic: steal decisions are keyed to absorb order, never
+    # wall-clock); it is disabled automatically under --max-pairs.
+    shm: bool = True
+    shard_by_source: object = "auto"
+    steal: bool = True
 
 
 @dataclass
@@ -421,6 +435,7 @@ class GraphEngine:
             self._ckpt_dir, phase=self.phase or "closure",
             options=self.options, store=store, last_seen=last_seen,
             stats=self.stats, graph=self._graph, complete=complete,
+            steal_frontier=getattr(self, "_steal_frontier", None),
         )
         if tick:
             trace.end("checkpoint", tick, cat="fault", complete=complete)

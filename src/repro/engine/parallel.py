@@ -53,6 +53,32 @@ never valid across the boundary.  Everything that crosses it -- delta
 edges in :class:`WaveTask`, new edges and spill chunks in
 :class:`WaveResult`, warm-cache entries -- stays tuple-encoded; workers
 intern on receipt, the engine decodes on send.
+
+Three layers rebuilt the data plane on top of that protocol
+(DESIGN.md §13):
+
+* **Shared-memory columns** (``engine/shm.py``): with ``--shm`` (the
+  default, POSIX only) the coordinator publishes each pooled pair's
+  partitions into named shared-memory segments instead of
+  materialising them to disk; workers attach zero-copy ``memoryview``
+  columns and remap the shared encoding stream incrementally, so the
+  per-wave cost of handing a partition to a worker stops scaling with
+  its size.  New edges return as one compact columnar slice per dirty
+  partition (``WaveResult.columns``) rather than a tuple list.
+* **Source-stratified sharding** (``--shard-by-source``): a
+  :class:`~repro.engine.scheduling.StratumPlanner` orders each wave's
+  eligible pairs by source stratum, clustering intra-stratum fan-out
+  first, SSC-style.  Order never affects the fixpoint -- the planner
+  only permutes which disjoint pairs fly together.
+* **Work stealing across the wave boundary**: instead of a hard
+  barrier, the coordinator absorbs results in *dispatch order* and,
+  after each absorb, refills free pool slots with eligible pairs
+  disjoint from everything still in flight (``pairs_stolen``).  Keying
+  steal decisions to the absorb count -- never to wall-clock
+  completion order -- keeps the schedule, and therefore the
+  witness-capped output, bit-reproducible run over run; checkpoint
+  manifests record the steal frontier at each (quiescent) wave end, so
+  ``--resume`` replays identically.
 """
 
 from __future__ import annotations
@@ -61,17 +87,20 @@ import multiprocessing
 import os
 import sys
 import time
+from array import array
 from bisect import bisect_right
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from repro.engine import serialize
+from repro.engine import shm as shm_mod
 from repro.engine.cache import LRUCache
 from repro.engine.columnar import EdgeColumns, EncodingTable
 from repro.engine.computation import GraphEngine
 from repro.engine.partition import _merge_edges
-from repro.engine.scheduling import PairScheduler
+from repro.engine.scheduling import PairScheduler, StratumPlanner
 from repro.engine.stats import EngineStats
 
 #: Caps on cross-process cache traffic per wave.
@@ -79,6 +108,9 @@ CACHE_LOG_CAP = 4096
 CACHE_SEED_CAP = 8192
 #: Decoded partitions kept per pool worker (version-validated).
 WORKER_CACHE_SLOTS = 8
+#: Steal refills dispatched past a wave's initial fill, per pool slot --
+#: bounds how far a wave can run past its checkpoint cadence.
+STEAL_FACTOR = 4
 
 
 def effective_workers(options) -> int:
@@ -123,6 +155,16 @@ class WaveTask:
     #: Redelivery count: bumped by the coordinator each time the task is
     #: requeued after a worker death or a corrupt-partition load.
     attempt: int = 0
+    #: Pair-partition index -> shared-memory segment ref (engine/shm.py).
+    #: A partition listed here was *not* materialised to disk: the
+    #: worker must attach or fail the task, never read the stale file.
+    shm: dict = field(default_factory=dict)
+    #: Segment ref of the coordinator's shared encoding-table stream.
+    table_ref: dict | None = None
+    #: Dispatch sequence within the wave; the coordinator absorbs
+    #: results strictly in this order so steal refills are
+    #: schedule-deterministic.
+    seq: int = 0
 
 
 @dataclass
@@ -131,7 +173,12 @@ class WaveResult:
 
     pair: tuple
     #: partition index -> list of new (src, dst, label_id, encoding)
+    #: (inline tasks only; pooled tasks return ``columns`` instead)
     new_edges: dict = field(default_factory=dict)
+    #: partition index -> new edges as one encoded columnar slice
+    #: (``serialize.encode_columnar`` bytes, rows in insertion order) --
+    #: the compact cross-process form of ``new_edges``.
+    columns: dict = field(default_factory=dict)
     #: partition index -> spill chunk {src: {(dst, label_id): set}}
     spills: dict = field(default_factory=dict)
     stats: EngineStats = field(default_factory=EngineStats)
@@ -143,6 +190,39 @@ class WaveResult:
     #: (:meth:`repro.obs.trace.TraceRecorder.ship` payload); None when
     #: tracing is off or the task ran inline against the shared recorder.
     trace: dict | None = None
+
+
+def _encode_edge_rows(edges: list) -> bytes:
+    """Pack ``(src, dst, label_id, encoding)`` tuples into one columnar
+    slice (v2 wire format, rows kept in insertion order)."""
+    src = array("q")
+    dst = array("q")
+    label = array("q")
+    enc_local = array("q")
+    local: dict = {}
+    encodings: list = []
+    for s, d, l, encoding in edges:
+        lid = local.get(encoding)
+        if lid is None:
+            lid = local[encoding] = len(encodings)
+            encodings.append(encoding)
+        src.append(s)
+        dst.append(d)
+        label.append(l)
+        enc_local.append(lid)
+    return serialize.encode_columnar(src, dst, label, enc_local, encodings)
+
+
+def _decode_edge_rows(data: bytes) -> dict:
+    """Back to the ``{src: {(dst, label): set[encoding]}}`` chunk shape.
+
+    ``ColumnarFile.to_dict`` groups rows in file order -- which
+    :func:`_encode_edge_rows` made insertion order -- so the chunk's
+    dict/set construction order (and therefore every downstream
+    witness-capped merge) is identical to building it from the tuple
+    list directly.
+    """
+    return serialize.parse_columnar(data).to_dict()
 
 
 # -- worker side ---------------------------------------------------------------
@@ -200,8 +280,13 @@ class _WorkerStore:
         self.dirty: set = set()
         # index -> (version the entry is valid for, decoded columns)
         self._decoded: dict = {}
+        # Shared-memory plane (None when --no-shm / unsupported).
+        self.shm_cache = None
+        self.shm_refs: dict = {}
+        self.table_ref: dict | None = None
 
-    def set_snapshot(self, parts: dict) -> None:
+    def set_snapshot(self, parts: dict, shm_refs: dict | None = None,
+                     table_ref: dict | None = None) -> None:
         self.partitions = parts
         order = sorted(parts.values(), key=lambda p: p.lo)
         self._los = [p.lo for p in order]
@@ -209,11 +294,30 @@ class _WorkerStore:
         self._snapshot_versions = {p.index: p.version for p in order}
         self.spill_chunks = {}
         self.dirty = set()
+        self.shm_refs = shm_refs or {}
+        self.table_ref = table_ref
+        if self.shm_cache is not None:
+            self.shm_cache.stats = self.stats
+            self.shm_cache.sweep()
 
     def load(self, part) -> EdgeColumns:
         entry = self._decoded.get(part.index)
         if entry is not None and entry[0] == part.version:
             return entry[1]
+        ref = self.shm_refs.get(part.index)
+        if ref is not None and self.shm_cache is not None:
+            # The coordinator did NOT materialise this partition to
+            # disk, so the file may be stale: attach or fail the task
+            # (ShmAttachLost is a CorruptPartition; the coordinator
+            # re-materialises, republishes, and retries the pair).
+            with self.stats.timing("io_time"):
+                try:
+                    cols = self.shm_cache.attach(ref, self.table_ref)
+                except shm_mod.ShmAttachLost:
+                    self.stats.shm_attach_lost += 1
+                    raise
+            self._cache_decoded(part.index, part.version, cols)
+            return cols
         with self.stats.timing("io_time"):
             try:
                 with open(part.path, "rb") as f:
@@ -282,6 +386,7 @@ class _WorkerEngine(GraphEngine):
         # ids the local feasible memo has never seen.
         self._lru_external = True
         self._graph = graph
+        self._inline_mode = store is not None
         if store is not None:
             # Inline task: share the real store's interning so ids in
             # its cached EdgeColumns stay meaningful.
@@ -289,6 +394,10 @@ class _WorkerEngine(GraphEngine):
             self._enc = store.table
         else:
             self._store = _WorkerStore(self.stats, self._enc)
+            if options.shm and shm_mod.available():
+                self._store.shm_cache = shm_mod.ShmAttachCache(
+                    self._enc, stats=self.stats, faults=self.faults
+                )
         # Out-of-process workers record into their own recorder (the
         # coordinator's, inherited through fork, would be invisible to
         # the parent) and ship drained spans back in each WaveResult;
@@ -435,12 +544,13 @@ class _WorkerEngine(GraphEngine):
         self._finalize_pair(loaded, parts, dirty)
 
     def run_task(self, task: WaveTask) -> WaveResult:
+        busy_start = time.perf_counter()
         self.stats = EngineStats()
         if self.options.metrics:
             self.stats.ensure_metrics()
         store = self._store
         store.stats = self.stats
-        store.set_snapshot(task.parts)
+        store.set_snapshot(task.parts, task.shm, task.table_ref)
         self._task_deltas = task.deltas
         self.cache.seed(task.cache_seed)
         labels = self._graph.labels
@@ -473,9 +583,23 @@ class _WorkerEngine(GraphEngine):
                 "parallel worker interned labels the coordinator never saw"
                 f" ({fresh!r}); Grammar.closure_labels() is incomplete"
             )
+        if self._inline_mode:
+            edges_out = {i: new_edges.get(i, []) for i in store.dirty}
+            columns_out = {}
+        else:
+            # Compact columnar slices over the wire instead of per-edge
+            # tuples; the coordinator's decode rebuilds the identical
+            # chunk (see _decode_edge_rows).
+            edges_out = {}
+            columns_out = {
+                i: _encode_edge_rows(new_edges.get(i, []))
+                for i in store.dirty
+            }
+        self.stats.worker_busy_s += time.perf_counter() - busy_start
         return WaveResult(
             pair=task.pair,
-            new_edges={i: new_edges.get(i, []) for i in store.dirty},
+            new_edges=edges_out,
+            columns=columns_out,
             spills=store.spill_chunks,
             stats=self.stats,
             cache_entries=self.cache.drain_added(CACHE_LOG_CAP),
@@ -525,7 +649,8 @@ class _InlineStore(_WorkerStore):
         super().__init__(real.stats, real.table)
         self._real = real
 
-    def set_snapshot(self, parts) -> None:  # real partitions, not views
+    def set_snapshot(self, parts, shm_refs=None, table_ref=None) -> None:
+        # Real partitions, not views; shared memory never applies here.
         self.partitions = self._real.partitions
         self.spill_chunks = {}
         self.dirty = set()
@@ -644,6 +769,33 @@ class ParallelCoordinator:
                     "graph": engine._graph,
                 }
                 self._pool = self._make_pool()
+        # Shared-memory hub: only worth anything with a real pool, and
+        # only where POSIX named segments exist.  A broken hub (ENOSPC
+        # on /dev/shm, say) degrades to the materialize-to-disk path.
+        self._hub = None
+        if self._pool is not None and self.options.shm and shm_mod.available():
+            self._hub = shm_mod.ShmHub(
+                shm_mod.workdir_tag(self.store.workdir), stats=self.stats
+            )
+        # Stratum planner: resolve --shard-by-source ("auto" = one
+        # stratum per pool slot; the planner engages from 2 strata up,
+        # since 1 stratum is definitionally the serial pair order).
+        raw = self.options.shard_by_source
+        if raw in (None, False, 0, "off"):
+            strata = 0
+        elif raw == "auto":
+            strata = self._procs if self._pool is not None else 0
+        else:
+            strata = max(0, int(raw))
+        self._planner = (
+            StratumPlanner(self.store, strata) if strata > 1 else None
+        )
+        self.stats.strata = strata
+        self._steal = (
+            self.options.steal
+            and self._pool is not None
+            and self.options.max_pairs is None
+        )
         self._inline = _WorkerEngine(
             engine.icfet, engine.grammar, engine.options, engine._graph,
             store=_InlineStore(self.store),
@@ -669,6 +821,8 @@ class ParallelCoordinator:
             _FORK_STATE = None
             if self._pool is not None:
                 self._pool.shutdown(wait=True, cancel_futures=True)
+            if self._hub is not None:
+                self._hub.close()
 
     def _make_pool(self) -> ProcessPoolExecutor:
         """A fresh fork-context executor; workers inherit ``_FORK_STATE``
@@ -694,6 +848,46 @@ class ParallelCoordinator:
         result.applied = True
         return result
 
+    def _publish(self, index: int) -> dict | None:
+        """Publish one partition to shared memory; None means the worker
+        must fall back to the file (caller materialises it)."""
+        hub = self._hub
+        if hub is None:
+            return None
+        store = self.store
+        part = store.partitions[index]
+        return hub.publish(part, store.table, lambda: store.load(part))
+
+    def _stage_pair(self, task: WaveTask) -> None:
+        """Make a pooled pair's partitions reachable by a worker: publish
+        each to shared memory, or materialise to disk those the hub
+        could not take.  Refreshes ``task.shm``/``task.table_ref`` and
+        the pair's own entries in ``task.parts`` -- a stolen pair's
+        partitions may have advanced since the wave snapshot, and a
+        stale view version would let the worker serve a stale decoded
+        copy from its version cache (the delta seeds assume the base
+        content contains them)."""
+        store = self.store
+        refs = {}
+        for index in set(task.pair):
+            ref = self._publish(index)
+            if ref is None:
+                store.materialize(store.partitions[index])
+            else:
+                refs[index] = ref
+            if task.parts is not None:
+                task.parts[index] = self._view(store.partitions[index])
+        task.shm = refs
+        task.table_ref = self._hub.table_ref if self._hub else None
+
+    @staticmethod
+    def _view(p) -> _PartView:
+        return _PartView(
+            index=p.index, lo=p.lo, hi=p.hi, path=p.path,
+            version=p.version, edge_count=p.edge_count,
+            byte_estimate=p.byte_estimate,
+        )
+
     # -- retry / quarantine ------------------------------------------------------
 
     def _attempt_inline(self, task: WaveTask) -> WaveResult:
@@ -708,38 +902,149 @@ class ParallelCoordinator:
                 task.attempt += 1
                 self._recover_task(task, exc)
 
-    def _collect(self, futures: list) -> list:
-        """Drain a wave's pooled futures, requeueing each failed task --
-        a dead worker (the executor breaks: rebuild it) or a corrupt
-        partition load (rebuild the partition) -- up to
-        ``--max-retries`` times before degrading it to a warning."""
-        results = []
-        queue = list(futures)
-        while queue:
-            task, future = queue.pop(0)
-            try:
-                results.append(future.result())
-                continue
-            except BrokenProcessPool as exc:
-                # Every future on the broken executor fails the same way
-                # as we reach it; each task is requeued onto the fresh
-                # pool and charged one attempt.
-                failure = exc
+    def _submit(self, task: WaveTask):
+        """Submit one task, transparently replacing a just-broken pool."""
+        try:
+            return self._pool.submit(_worker_run, task)
+        except BrokenProcessPool:
+            self._rebuild_pool()
+            return self._pool.submit(_worker_run, task)
+
+    def _retire_if_dead(self, pair, logs, epochs, last_pos) -> bool:
+        """Retire a quarantined or provably inert pair without loading
+        it: nothing to seed means nothing to find, so mark it processed
+        at its current versions and advance its delta positions.  True
+        when the pair was retired."""
+        engine = self.engine
+        scheduler = engine._scheduler
+        if engine._quarantined_parts and (
+            pair[0] in engine._quarantined_parts
+            or pair[1] in engine._quarantined_parts
+        ):
+            # Unrecoverable partition: retire the pair silently (the
+            # quarantine already printed a warning) so it stops
+            # re-entering wave selection.
+            pass
+        elif self._joins.pair_has_join(self.store.partitions, pair):
+            return False
+        else:
+            self.stats.pairs_skipped += 1
+        scheduler.mark_processed(pair, scheduler.captured_versions(pair))
+        last_pos[pair] = (
+            epochs[pair[0]], len(logs.setdefault(pair[0], [])),
+            epochs[pair[1]], len(logs.setdefault(pair[1], [])),
+        )
+        return True
+
+    def _stream_wave(
+        self, tasks, absorb, build_task, seed_fn, logs, epochs, last_pos
+    ) -> None:
+        """Dispatch a wave's pooled tasks, absorb results strictly in
+        dispatch (``seq``) order, and -- when stealing is on -- refill
+        freed pool slots with further eligible pairs between absorbs.
+
+        Determinism: absorption order is the dispatch order regardless
+        of completion order, and every steal decision is keyed to the
+        absorb count (never to wall-clock), so the schedule -- and with
+        it the witness-capped output -- is reproducible run over run.
+        The busy set handed to the scheduler claims the partitions of
+        every dispatched-but-unabsorbed pair, *including* completed ones
+        waiting in the reorder buffer; that preserves the merge
+        invariant (only a task's own edges reach its partitions between
+        its dispatch and its mark), because any task absorbed earlier
+        either finished before this one's delta snapshot or was
+        partition-disjoint from it while in flight.
+
+        Failed tasks (dead worker, corrupt partition) are requeued up to
+        ``--max-retries`` and still absorb at their original seq, so a
+        faulted run replays the clean run's merge order exactly.
+        """
+        engine = self.engine
+        scheduler = engine._scheduler
+        inflight: dict = {}     # future -> task
+        outstanding: dict = {}  # seq -> task (dispatched, unabsorbed)
+        buffered: dict = {}     # seq -> result (reorder buffer)
+        dispatched = len(tasks)
+        steal_budget = STEAL_FACTOR * self._procs if self._steal else 0
+
+        for task in tasks[1:]:
+            self._stage_pair(task)
+            outstanding[task.seq] = task
+            inflight[self._submit(task)] = task
+        outstanding[0] = tasks[0]
+        buffered[0] = self._attempt_inline(tasks[0])
+
+        def refill() -> None:
+            nonlocal dispatched, steal_budget
+            while steal_budget > 0 and len(inflight) < self._procs:
+                if engine._deadline is not None and (
+                    time.perf_counter() > engine._deadline
+                ):
+                    steal_budget = 0
+                    return
+                busy: set = set()
+                for t in outstanding.values():
+                    busy.update(t.pair)
+                got = scheduler.select_wave(1, self._planner, busy=busy)
+                if not got:
+                    return
+                pair = got[0]
+                if self._retire_if_dead(pair, logs, epochs, last_pos):
+                    continue
+                task = build_task(pair, dispatched, seed_fn())
+                dispatched += 1
+                steal_budget -= 1
+                self.stats.pairs_stolen += 1
+                self._stage_pair(task)
+                outstanding[task.seq] = task
+                inflight[self._submit(task)] = task
+
+        cursor = 0
+        while True:
+            while cursor in buffered:
+                result = buffered.pop(cursor)
+                del outstanding[cursor]
+                absorb(result)
+                cursor += 1
+                refill()
+            if not inflight:
+                break
+            done, _pending = futures_wait(
+                list(inflight), return_when=FIRST_COMPLETED
+            )
+            failed = []
+            broken = False
+            for future in done:
+                task = inflight.pop(future)
+                try:
+                    buffered[task.seq] = future.result()
+                except BrokenProcessPool as exc:
+                    broken = True
+                    failed.append((task, exc, False))
+                except serialize.CorruptPartition as exc:
+                    failed.append((task, exc, True))
+            if broken:
+                # Every other future on the broken executor is doomed as
+                # we reach it; harvest any that completed first, requeue
+                # the rest onto the fresh pool.
                 self._rebuild_pool()
-            except serialize.CorruptPartition as exc:
-                failure = exc
-                self._recover_task(task, exc, count_retry=False)
-            if task.attempt >= self.options.max_retries:
-                results.append(self._quarantine_task(task, failure))
-                continue
-            task.attempt += 1
-            self.stats.retries += 1
-            try:
-                queue.append((task, self._pool.submit(_worker_run, task)))
-            except BrokenProcessPool:
-                self._rebuild_pool()
-                queue.append((task, self._pool.submit(_worker_run, task)))
-        return results
+                for future, task in list(inflight.items()):
+                    del inflight[future]
+                    try:
+                        buffered[task.seq] = future.result(timeout=0)
+                    except serialize.CorruptPartition as exc:
+                        failed.append((task, exc, True))
+                    except Exception as exc:
+                        failed.append((task, exc, False))
+            for task, exc, needs_recover in failed:
+                if task.attempt >= self.options.max_retries:
+                    buffered[task.seq] = self._quarantine_task(task, exc)
+                    continue
+                task.attempt += 1
+                self.stats.retries += 1
+                if needs_recover:
+                    self._recover_task(task, exc, count_retry=False)
+                inflight[self._submit(task)] = task
 
     def _recover_task(self, task: WaveTask, exc, count_retry=True) -> None:
         """Probe the pair's partition *files* (workers read them
@@ -757,12 +1062,22 @@ class ParallelCoordinator:
             part = store.partitions[index]
             if store.prefetch is not None:
                 store.prefetch.invalidate(index)
+            if self._hub is not None:
+                # The published segment may be the casualty (unlinked or
+                # torn): retire it so the republish below gets a fresh
+                # generation instead of handing back a dead ref.
+                self._hub.invalidate(index)
             try:
                 with open(part.path, "rb") as f:
                     serialize.parse_columnar(f.read())
             except Exception:
                 if not store.rebuild(part):
                     engine._quarantine_partition(part, exc)
+        if task.parts is not None:
+            # Pooled task: re-stage so the requeued attempt sees live
+            # segments (or current files) rather than the refs that
+            # just failed.
+            self._stage_pair(task)
         if tick:
             trace.end(
                 "retry", tick, cat="fault",
@@ -820,70 +1135,40 @@ class ParallelCoordinator:
                 )
                 if width <= 0:
                     break
-            wave = scheduler.select_wave(width)
+            wave = scheduler.select_wave(width, self._planner)
             if not wave:
                 break
             # Retire provably inert pairs without loading them: nothing
             # to seed means nothing to find, so mark them processed at
             # their current versions and delta positions.
-            live = []
-            for pair in wave:
-                if engine._quarantined_parts and (
-                    pair[0] in engine._quarantined_parts
-                    or pair[1] in engine._quarantined_parts
-                ):
-                    # Unrecoverable partition: retire the pair silently
-                    # (the quarantine already printed a warning) so it
-                    # stops re-entering wave selection.
-                    scheduler.mark_processed(
-                        pair, scheduler.captured_versions(pair)
-                    )
-                    last_pos[pair] = (
-                        epochs[pair[0]], len(logs.setdefault(pair[0], [])),
-                        epochs[pair[1]], len(logs.setdefault(pair[1], [])),
-                    )
-                    continue
-                if self._joins.pair_has_join(store.partitions, pair):
-                    live.append(pair)
-                    continue
-                stats.pairs_skipped += 1
-                scheduler.mark_processed(
-                    pair, scheduler.captured_versions(pair)
-                )
-                last_pos[pair] = (
-                    epochs[pair[0]], len(logs.setdefault(pair[0], [])),
-                    epochs[pair[1]], len(logs.setdefault(pair[1], [])),
-                )
+            live = [
+                pair for pair in wave
+                if not self._retire_if_dead(pair, logs, epochs, last_pos)
+            ]
             wave = live
             if not wave:
                 continue
             stats.waves += 1
             # One timestamp anchors two nested spans: "wave" covers
-            # dispatch + result collection, "iteration" the whole cycle
-            # including merges and between-wave splits.
+            # dispatch + result collection (merges now interleave with
+            # collection), "iteration" the whole cycle including spill
+            # merges and between-wave splits.
             wave_start = trace.begin() if trace.enabled else 0.0
+            cycle_start = time.perf_counter()
             # The first pair of every wave runs in-process (against the
             # write-back cache, no IPC) while the pool -- when there is
             # one -- chews the rest.
             pooled = wave[1:] if self._pool is not None else ()
 
-            tasks = []
             seed = fresh_entries[-CACHE_SEED_CAP:]
             fresh_entries = []
             snapshot = None
             if pooled:
-                for pair in pooled:
-                    for index in set(pair):
-                        store.materialize(store.partitions[index])
                 snapshot = {
-                    p.index: _PartView(
-                        index=p.index, lo=p.lo, hi=p.hi, path=p.path,
-                        version=p.version, edge_count=p.edge_count,
-                        byte_estimate=p.byte_estimate,
-                    )
-                    for p in store.partitions
+                    p.index: self._view(p) for p in store.partitions
                 }
-            for pair in wave:
+
+            def build_task(pair, seq, cache_seed):
                 deltas = {}
                 positions = last_pos.get(pair)
                 for slot, index in enumerate(dict.fromkeys(pair)):
@@ -894,53 +1179,64 @@ class ParallelCoordinator:
                         deltas[index] = logs[index][positions[2 * slot + 1]:]
                     else:
                         deltas[index] = None
-                tasks.append(
-                    WaveTask(
-                        pair=pair,
-                        parts=snapshot if pair in pooled else None,
-                        deltas=deltas,
-                        cache_seed=seed,
-                    )
+                task = WaveTask(
+                    pair=pair,
+                    parts=snapshot if seq > 0 and pooled else None,
+                    deltas=deltas,
+                    cache_seed=cache_seed,
+                    seq=seq,
                 )
                 last_pos[pair] = (
                     epochs[pair[0]], len(logs[pair[0]]),
                     epochs[pair[1]], len(logs[pair[1]]),
                 )
+                return task
 
-            if pooled:
-                futures = [
-                    (task, self._pool.submit(_worker_run, task))
-                    for task in tasks[1:]
-                ]
-                results = [self._attempt_inline(tasks[0])]
-                results.extend(self._collect(futures))
-            else:
-                results = [self._attempt_inline(task) for task in tasks]
-            if trace.enabled:
-                trace.end(
-                    "wave", wave_start, cat="wave",
-                    wave=stats.waves, width=len(wave),
-                )
+            tasks = [
+                build_task(pair, seq, seed) for seq, pair in enumerate(wave)
+            ]
 
-            touched = set()
-            for result in results:
+            # -- streaming collection + steal refills -----------------------
+            #
+            # Results are absorbed strictly in dispatch (seq) order;
+            # after each absorb the coordinator may dispatch a "stolen"
+            # pair into a free pool slot.  Keying every steal decision
+            # to the absorb count keeps the schedule deterministic, and
+            # claiming the partitions of *all* dispatched-but-unabsorbed
+            # tasks (not just unfinished ones) preserves the merge
+            # invariant: between a task's dispatch and its mark, only
+            # its own edges reach its partitions.
+            touched: set = set()
+            spill_results: list = []
+            pool_busy = [0.0]
+
+            def absorb(result):
                 trace.absorb(result.trace)
                 stats.merge(result.stats)
+                if not result.applied:
+                    pool_busy[0] += result.stats.worker_busy_s
                 stats.pairs_processed += 1
                 stats.iterations = stats.pairs_processed
-                for index, edges in result.new_edges.items():
+                merged = list(result.new_edges.items())
+                merged.extend(result.columns.items())
+                for index, payload in merged:
                     touched.add(index)
-                    if not result.applied:
-                        chunk: dict = {}
-                        for src, dst, label_id, encoding in edges:
-                            chunk.setdefault(src, {}).setdefault(
-                                (dst, label_id), set()
-                            ).add(encoding)
+                    if result.applied:
+                        # Inline task: its edges and version bumps
+                        # already landed in the real store.
+                        edges = payload
+                    else:
+                        if isinstance(payload, (bytes, bytearray)):
+                            chunk = _decode_edge_rows(payload)
+                        else:
+                            chunk = {}
+                            for src, dst, label_id, encoding in payload:
+                                chunk.setdefault(src, {}).setdefault(
+                                    (dst, label_id), set()
+                                ).add(encoding)
                         edges = store.merge_chunk(
                             store.partitions[index], chunk
                         )
-                    # (Inline tasks' edges and version bumps already
-                    # landed in the real store during processing.)
                     logs.setdefault(index, []).extend(edges)
                     for _src, dst, label_id, _enc in edges:
                         self._joins.add(index, dst, label_id)
@@ -950,8 +1246,8 @@ class ParallelCoordinator:
                 # delta positions past its own edges.  (The serial loop
                 # marks with pre-processing versions and pays one full
                 # "quiescence check" recompose per dirty pair instead.)
-                # Spill chunks from this wave merge below, after this,
-                # so cross-pair edges still re-activate the pair.
+                # Spill chunks from this wave merge below, after all
+                # marks, so cross-pair edges still re-activate pairs.
                 scheduler.mark_processed(
                     result.pair, scheduler.captured_versions(result.pair)
                 )
@@ -964,6 +1260,28 @@ class ParallelCoordinator:
                     if key not in warm_cache:
                         warm_cache[key] = value
                         fresh_entries.append((key, value))
+                spill_results.append(result)
+
+            if pooled:
+                self._stream_wave(
+                    tasks, absorb, build_task,
+                    lambda: fresh_entries[-CACHE_SEED_CAP:],
+                    logs, epochs, last_pos,
+                )
+            else:
+                for task in tasks:
+                    absorb(self._attempt_inline(task))
+            if trace.enabled:
+                trace.end(
+                    "wave", wave_start, cat="wave",
+                    wave=stats.waves, width=len(wave),
+                )
+            if pooled:
+                elapsed = time.perf_counter() - cycle_start
+                stats.worker_idle_s += max(
+                    0.0, self._procs * elapsed - pool_busy[0]
+                )
+
             # Spill chunks after the pairs' own edges so the dedup merge
             # sees each partition's freshest contents.  Chunks are
             # combined per partition first, and partitions not resident
@@ -972,7 +1290,7 @@ class ParallelCoordinator:
             # their logs then over-approximate (duplicates are harmless
             # seeds -- they recompose into edges that dedup away).
             combined: dict = {}
-            for result in results:
+            for result in spill_results:
                 for index, chunk in result.spills.items():
                     _merge_edges(combined.setdefault(index, {}), chunk)
             for index, chunk in combined.items():
@@ -995,14 +1313,22 @@ class ParallelCoordinator:
             self._split_oversized(touched, logs, epochs)
             # One manifest per completed wave: everything merged above is
             # flushed durable first, so a crash from here on resumes at
-            # the *next* wave (no-op when checkpointing is off).
+            # the *next* wave (no-op when checkpointing is off).  The
+            # manifest records the steal frontier -- waves only end once
+            # every dispatched (stolen included) pair is absorbed, so a
+            # resume replays from a quiescent point and stays
+            # byte-identical.
+            engine._steal_frontier = {
+                "wave": stats.waves,
+                "pairs_stolen": stats.pairs_stolen,
+            }
             engine._write_checkpoint()
             # Wave lookahead for the I/O pipeline: the predicted next
             # wave's first pair runs inline through store.load, so start
             # its reads now.  (Pooled pairs read the files in their own
             # processes; prefetching here would not reach them.)
             if store.prefetch is not None:
-                predicted = scheduler.peek_wave(max(1, width))
+                predicted = scheduler.peek_wave(max(1, width), self._planner)
                 if predicted:
                     for index in set(predicted[0]):
                         store.prefetch_schedule(store.partitions[index])
@@ -1031,5 +1357,10 @@ class ParallelCoordinator:
                 epochs[part.index] = epochs.get(part.index, 0) + 1
                 logs[new_part.index] = []
                 epochs[new_part.index] = 0
+                if self._hub is not None:
+                    # Both halves changed identity; retire any published
+                    # segment so the next stage republishes fresh.
+                    self._hub.invalidate(part.index)
+                    self._hub.invalidate(new_part.index)
                 self._joins.rebuild(part.index, cols)
                 self._joins.rebuild(new_part.index, new_cols)

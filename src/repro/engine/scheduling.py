@@ -21,6 +21,46 @@ from __future__ import annotations
 import heapq
 
 
+class StratumPlanner:
+    """Source-stratified wave planning (``--shard-by-source``).
+
+    Partitions are contiguous source-vertex ranges (``partition_of``
+    bisects over their start vertices), so slicing the partition list
+    into ``strata`` contiguous blocks shards the closure by source
+    stratum, SSC-style (Yang & Zaniolo's single-source closure): pairs
+    whose partitions fall in one stratum extend paths rooted in one
+    source range and are mutually independent fan-out work, so the
+    planner orders them first, keeping a wave's pairs clustered instead
+    of striped across the whole graph.  Cross-stratum pairs (the
+    stitch-up work) follow, by lowest stratum touched.
+
+    The planner only *reorders* eligible pairs -- eligibility, the
+    disjointness rule, and the fixpoint are :class:`PairScheduler`'s,
+    which remains the fallback path and the golden oracle.
+    """
+
+    def __init__(self, store, strata: int):
+        self.store = store
+        self.strata = max(1, int(strata))
+        self._of: list[int] = []
+
+    def rebuild(self) -> None:
+        """Recompute the partition -> stratum map (splits move it)."""
+        n = len(self.store.partitions)
+        k = min(self.strata, n)
+        self._of = [i * k // n for i in range(n)]
+
+    def stratum(self, index: int) -> int:
+        return self._of[index]
+
+    def wave_key(self, pair) -> tuple:
+        i, j = pair
+        si, sj = self._of[i], self._of[j]
+        if si == sj:
+            return (0, si, pair)
+        return (1, min(si, sj), pair)
+
+
 class PairScheduler:
     """Tracks pair eligibility over a store's (mutable) partition list."""
 
@@ -126,14 +166,22 @@ class PairScheduler:
                     break
         return out
 
-    def peek_wave(self, max_width: int) -> list:
+    def peek_wave(self, max_width: int, planner=None) -> list:
         """Predict :meth:`select_wave`'s next result without consuming
         anything (same greedy disjointness rule over current
-        eligibility).  Wave lookahead for the prefetch pipeline."""
+        eligibility, same planner ordering).  Wave lookahead for the
+        prefetch pipeline."""
         self._refresh()
+        candidates = heapq.nsmallest(len(self._heap), self._heap)
+        if planner is not None:
+            planner.rebuild()
+            candidates = sorted(
+                (p for p in candidates if self._eligible(p)),
+                key=planner.wave_key,
+            )
         wave: list = []
         busy: set = set()
-        for pair in heapq.nsmallest(len(self._heap), self._heap):
+        for pair in candidates:
             if len(wave) >= max_width:
                 break
             if not self._eligible(pair):
@@ -152,31 +200,53 @@ class PairScheduler:
             heapq.heappop(self._heap)
             self._in_heap.discard(pair)
 
-    def select_wave(self, max_width: int) -> list:
+    def select_wave(self, max_width: int, planner=None, busy=None) -> list:
         """Up to ``max_width`` mutually disjoint eligible pairs.
 
-        Pairs are considered in the serial processing order; a pair joins
-        the wave only if neither of its partitions is already claimed, so
-        no partition is in two in-flight pairs.  Skipped-over pairs stay
+        Pairs are considered in the serial processing order (or, with a
+        :class:`StratumPlanner`, in stratum order); a pair joins the
+        wave only if neither of its partitions is already claimed --
+        including any passed in via ``busy`` (partitions of pairs still
+        in flight, for the coordinator's steal refills) -- so no
+        partition is in two in-flight pairs.  Skipped-over pairs stay
         queued for later waves.
         """
         self._refresh()
         wave: list = []
-        busy: set = set()
+        claimed: set = set() if busy is None else set(busy)
         kept: list = []
         heap = self._heap
-        while heap and len(wave) < max_width:
-            pair = heapq.heappop(heap)
-            self._in_heap.discard(pair)
-            if not self._eligible(pair):
-                continue
-            i, j = pair
-            if i in busy or j in busy:
-                kept.append(pair)  # still eligible; revisit next wave
-                continue
-            busy.add(i)
-            busy.add(j)
-            wave.append(pair)
+        if planner is not None:
+            planner.rebuild()
+            eligible: list = []
+            while heap:
+                pair = heapq.heappop(heap)
+                self._in_heap.discard(pair)
+                if self._eligible(pair):
+                    eligible.append(pair)
+            eligible.sort(key=planner.wave_key)
+            for pair in eligible:
+                i, j = pair
+                if len(wave) < max_width \
+                        and i not in claimed and j not in claimed:
+                    claimed.add(i)
+                    claimed.add(j)
+                    wave.append(pair)
+                else:
+                    kept.append(pair)
+        else:
+            while heap and len(wave) < max_width:
+                pair = heapq.heappop(heap)
+                self._in_heap.discard(pair)
+                if not self._eligible(pair):
+                    continue
+                i, j = pair
+                if i in claimed or j in claimed:
+                    kept.append(pair)  # still eligible; revisit next wave
+                    continue
+                claimed.add(i)
+                claimed.add(j)
+                wave.append(pair)
         for pair in kept:
             self._push(pair)
         return wave

@@ -1,0 +1,449 @@
+"""Shared-memory zero-copy partition columns for the parallel engine.
+
+The fork-pool data plane used to ship every partition a worker touched
+through the tuple protocol: the coordinator pickled nested dicts into
+the task, the worker rebuilt columns from them, and new edges came back
+the same way.  Grapple's C++ engine instead gives every worker a view
+of the same partitioned edge arrays (paper §5); this module is the
+Python analogue on one host:
+
+* the coordinator (:class:`ShmHub`) publishes each partition's four
+  sorted ``array('q')`` columns into a named
+  ``multiprocessing.shared_memory`` segment, generation-stamped so a
+  republished partition never aliases a stale mapping;
+* the interned :class:`~repro.engine.columnar.EncodingTable` is shared
+  through one append-only segment of self-describing entries, so the
+  ``enc`` column can carry *coordinator* ids and workers remap them to
+  local ids incrementally (:class:`ShmTableReader`) instead of decoding
+  every row's tuple payload;
+* workers (:class:`ShmAttachCache`) attach segments and wrap them in
+  zero-copy ``memoryview`` columns
+  (:class:`~repro.engine.columnar.SharedEdgeColumns`); only *new*
+  edges return over the wire, as compact columnar slices.
+
+Lifetime rules (satellite: guaranteed cleanup):
+
+* every segment name starts with ``grpl_<tag>_`` where ``tag`` hashes
+  the phase workdir, so a fresh coordinator can scrub leftovers from a
+  crashed predecessor (:func:`scrub`);
+* the hub unlinks every live segment in a ``finally`` and via
+  ``atexit`` (pid-guarded: forked workers inherit the handler but must
+  never unlink the coordinator's segments);
+* ``multiprocessing.resource_tracker`` registration happens on create
+  *and* attach with a fork-shared tracker process, so even a SIGKILLed
+  coordinator leaves the tracker behind to unlink its segments.
+
+Segment layouts (all little-endian, offsets in bytes):
+
+``partition`` -- header ``<8sQQQQ``: magic ``GRPLSHM1``, generation,
+partition version, row count, encoding watermark (how many coordinator
+encodings existed at publish time, i.e. how far the reader must have
+parsed the table stream before remapping ``enc``); then the four raw
+int64 columns ``src``/``dst``/``label``/``enc`` back to back.  ``enc``
+holds *coordinator-global* encoding ids, making the publish a straight
+``memcpy`` of the compacted columns.
+
+``table`` -- header ``<8sQQQ``: magic ``GRPLENC1``, generation,
+encoding count, payload length; then an append-only entry stream.
+Entry ``0x01 <varint len> <utf-8>`` defines the next string id; entry
+``0x02 <encoding>`` (the ``serialize`` wire codec, interval functions
+as string ids) defines the next encoding id.  The payload bytes of an
+entry are written *before* the header's count/length advance, so a
+reader never parses a half-written entry.  Growth copies the stream
+prefix-identically into a bigger segment, so a reader's parse offset
+survives generations.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import os
+import struct
+
+from repro.engine import serialize
+from repro.engine.columnar import SharedEdgeColumns
+from repro.engine.serialize import CorruptPartition
+
+try:  # pragma: no cover - absent on some minimal builds
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+PART_MAGIC = b"GRPLSHM1"
+TABLE_MAGIC = b"GRPLENC1"
+PART_HEADER = struct.Struct("<8sQQQQ")
+TABLE_HEADER = struct.Struct("<8sQQQ")
+ENTRY_STRING = 0x01
+ENTRY_ENCODING = 0x02
+NAME_PREFIX = "grpl_"
+TABLE_MIN_BYTES = 1 << 14
+
+
+class ShmAttachLost(CorruptPartition):
+    """A worker could not attach (or validate) a published segment.
+
+    Subclasses :class:`CorruptPartition` so the coordinator's existing
+    retry/recover machinery handles it: the partitions are
+    re-materialised to disk, republished, and the pair retried.
+    """
+
+
+def available() -> bool:
+    """True when named shared memory is usable on this platform."""
+    return _shared_memory is not None and os.name == "posix"
+
+
+def workdir_tag(workdir: str) -> str:
+    """Stable short tag for segment names, derived from the workdir."""
+    digest = hashlib.sha1(os.path.abspath(workdir).encode("utf-8"))
+    return digest.hexdigest()[:10]
+
+
+def scrub(tag: str) -> list[str]:
+    """Unlink leftover segments for ``tag`` from a crashed run."""
+    removed = []
+    base = "/dev/shm"
+    prefix = NAME_PREFIX + tag + "_"
+    try:
+        names = os.listdir(base)
+    except OSError:
+        return removed
+    for name in names:
+        if name.startswith(prefix):
+            try:
+                os.unlink(os.path.join(base, name))
+            except OSError:
+                continue
+            removed.append(name)
+    return removed
+
+
+class _Segment(_shared_memory.SharedMemory if _shared_memory else object):
+    """SharedMemory whose teardown tolerates live buffer exports.
+
+    ``SharedMemory.close`` raises ``BufferError`` while memoryviews
+    over the mapping are alive; during interpreter shutdown or cache
+    eviction that ordering is not under our control, so :meth:`try_close`
+    reports failure instead of raising and ``__del__`` never warns.
+    """
+
+    def try_close(self) -> bool:
+        try:
+            super().close()
+        except BufferError:
+            return False
+        except OSError:
+            pass
+        return True
+
+    def __del__(self) -> None:  # pragma: no cover - gc timing
+        try:
+            super().close()
+        except Exception:
+            pass
+
+
+class ShmHub:
+    """Coordinator side: publish partitions + the encoding table."""
+
+    def __init__(self, tag: str, stats=None):
+        self.tag = tag
+        self.stats = stats
+        self._parts: dict[int, tuple] = {}  # index -> (ref_dict, segment)
+        self._table_seg: _Segment | None = None
+        self._table_ref: dict | None = None
+        self._table_cap = 0
+        self._strings: dict[str, int] = {}
+        self._synced = 0       # encodings appended so far
+        self._length = 0       # payload bytes appended so far
+        self._gen = 0          # generation stamp, shared by all segments
+        self._pid = os.getpid()
+        self._closed = False
+        self.broken = False
+        scrub(tag)
+        atexit.register(self.close)
+
+    # -- encoding table -------------------------------------------------------
+
+    def _append_entries(self, out: bytearray, tuples) -> None:
+        strings = self._strings
+        for encoding in tuples:
+            body = bytearray()
+            fresh: list[str] = []
+
+            def intern(name: str) -> int:
+                idx = strings.get(name)
+                if idx is None:
+                    idx = len(strings)
+                    strings[name] = idx
+                    fresh.append(name)
+                return idx
+
+            serialize._append_encoding(body, encoding, intern)
+            for name in fresh:
+                raw = name.encode("utf-8")
+                out.append(ENTRY_STRING)
+                serialize._append_varint(out, len(raw))
+                out += raw
+            out.append(ENTRY_ENCODING)
+            out += body
+
+    def sync_table(self, table) -> dict:
+        """Publish any encodings interned since the last sync."""
+        count = len(table)
+        if self._table_seg is not None and count == self._synced:
+            return self._table_ref
+        payload = bytearray()
+        self._append_entries(payload, table._tuples[self._synced:])
+        need = TABLE_HEADER.size + self._length + len(payload)
+        seg = self._table_seg
+        if seg is None or need > self._table_cap:
+            cap = max(TABLE_MIN_BYTES, 2 * need)
+            self._gen += 1
+            name = f"{NAME_PREFIX}{self.tag}_enc_g{self._gen}"
+            fresh = _Segment(name=name, create=True, size=cap)
+            if seg is not None:  # prefix-identical copy keeps readers valid
+                end = TABLE_HEADER.size + self._length
+                fresh.buf[TABLE_HEADER.size:end] = seg.buf[TABLE_HEADER.size:end]
+                self._unlink(seg)
+            seg = fresh
+            self._table_seg = seg
+            self._table_cap = cap
+        start = TABLE_HEADER.size + self._length
+        seg.buf[start:start + len(payload)] = payload
+        self._length += len(payload)
+        self._synced = count
+        # Header written after the payload: readers racing the append
+        # see the previous count and a fully-written prefix.
+        TABLE_HEADER.pack_into(seg.buf, 0, TABLE_MAGIC, self._gen,
+                               count, self._length)
+        self._table_ref = {
+            "name": seg.name, "generation": self._gen,
+            "count": count, "nbytes": seg.size,
+        }
+        return self._table_ref
+
+    @property
+    def table_ref(self) -> dict | None:
+        return self._table_ref
+
+    # -- partitions -----------------------------------------------------------
+
+    def publish(self, part, table, loader) -> dict | None:
+        """Publish a partition's compacted columns; None on failure.
+
+        ``loader()`` supplies the current columns and is only invoked
+        on a cache miss: republishing the same partition version
+        returns the existing segment, a newer version retires the old
+        generation (unlinked; attached workers keep their mapping).
+        """
+        if self._closed or self.broken:
+            return None
+        entry = self._parts.get(part.index)
+        if entry is not None and entry[0]["version"] == part.version:
+            return entry[0]
+        try:
+            cols = loader()
+            cols.compact()
+            self.sync_table(table)
+            rows = len(cols.src)
+            width = rows * 8
+            nbytes = PART_HEADER.size + 4 * width
+            self._gen += 1
+            name = f"{NAME_PREFIX}{self.tag}_p{part.index}g{self._gen}"
+            seg = _Segment(name=name, create=True, size=nbytes)
+            offset = PART_HEADER.size
+            for column in (cols.src, cols.dst, cols.label, cols.enc):
+                seg.buf[offset:offset + width] = memoryview(column).cast("B")
+                offset += width
+            PART_HEADER.pack_into(seg.buf, 0, PART_MAGIC, self._gen,
+                                  part.version, rows, self._synced)
+        except OSError:
+            self.broken = True  # e.g. /dev/shm full: fall back to files
+            return None
+        ref = {
+            "index": part.index, "name": name, "generation": self._gen,
+            "version": part.version, "rows": rows, "nbytes": seg.size,
+        }
+        if entry is not None:
+            self._unlink(entry[1])
+        self._parts[part.index] = (ref, seg)
+        if self.stats is not None:
+            self.stats.shm_publishes += 1
+        return ref
+
+    def invalidate(self, index: int) -> None:
+        """Retire a partition's segment (e.g. after a split)."""
+        entry = self._parts.pop(index, None)
+        if entry is not None:
+            self._unlink(entry[1])
+
+    @staticmethod
+    def _unlink(seg) -> None:
+        try:
+            seg.unlink()
+        except OSError:
+            pass
+        seg.try_close()
+
+    def close(self) -> None:
+        """Unlink every live segment (idempotent, coordinator-only)."""
+        if self._closed or os.getpid() != self._pid:
+            return
+        self._closed = True
+        for _, seg in self._parts.values():
+            self._unlink(seg)
+        self._parts.clear()
+        if self._table_seg is not None:
+            self._unlink(self._table_seg)
+            self._table_seg = None
+        try:
+            atexit.unregister(self.close)
+        except Exception:  # pragma: no cover
+            pass
+
+
+class ShmTableReader:
+    """Worker side: incremental coordinator-id -> local-id remap."""
+
+    def __init__(self, table):
+        self.table = table           # the worker's local EncodingTable
+        self._seg: _Segment | None = None
+        self._strings: list[str] = []
+        self.remap = []              # coordinator eid -> local eid
+        self._offset = 0             # payload bytes parsed so far
+
+    def sync(self, ref: dict, watermark: int) -> bool:
+        """Parse table entries until ``watermark`` encodings are mapped."""
+        if len(self.remap) >= watermark:
+            return True
+        seg = self._seg
+        if seg is not None:
+            magic, _gen, count, length = TABLE_HEADER.unpack_from(seg.buf, 0)
+            if magic != TABLE_MAGIC or count < watermark:
+                seg.try_close()
+                seg = self._seg = None
+        if seg is None:
+            if ref is None:
+                return False
+            try:
+                seg = _Segment(name=ref["name"])
+            except (OSError, ValueError):
+                return False
+            magic, _gen, count, length = TABLE_HEADER.unpack_from(seg.buf, 0)
+            if magic != TABLE_MAGIC or count < watermark:
+                seg.try_close()
+                return False
+            self._seg = seg
+        start = TABLE_HEADER.size + self._offset
+        data = bytes(seg.buf[start:TABLE_HEADER.size + length])
+        pos = 0
+        strings = self._strings
+        remap = self.remap
+        intern = self.table.intern
+        try:
+            while len(remap) < count and pos < len(data):
+                tag = data[pos]
+                pos += 1
+                if tag == ENTRY_STRING:
+                    n, pos = serialize.read_varint(data, pos)
+                    strings.append(data[pos:pos + n].decode("utf-8"))
+                    pos += n
+                elif tag == ENTRY_ENCODING:
+                    encoding, pos = serialize._read_encoding(data, pos, strings)
+                    remap.append(intern(encoding))
+                else:
+                    return False
+        except (CorruptPartition, IndexError, UnicodeDecodeError):
+            return False
+        self._offset += pos
+        return len(remap) >= watermark
+
+    def close(self) -> None:
+        if self._seg is not None:
+            self._seg.try_close()
+            self._seg = None
+
+
+class ShmAttachCache:
+    """Worker side: attach partition segments, cache by generation."""
+
+    def __init__(self, table, stats=None, faults=None):
+        self.reader = ShmTableReader(table)
+        self.table = table
+        self.stats = stats
+        self.faults = faults
+        self._cols: dict[int, tuple] = {}   # index -> (ref, cols)
+        self._retired: list = []            # segments awaiting close
+
+    def sweep(self) -> None:
+        """Close retired segments whose views have been dropped."""
+        self._retired = [seg for seg in self._retired if not seg.try_close()]
+
+    def attach(self, ref: dict, table_ref: dict | None):
+        """Return :class:`SharedEdgeColumns` for ``ref``.
+
+        Raises :class:`ShmAttachLost` when the segment is gone or
+        stale -- the caller must *not* fall back to the partition file
+        (the coordinator skips materialising published partitions, so
+        the file may be behind the shared snapshot).
+        """
+        index = ref["index"]
+        entry = self._cols.get(index)
+        if entry is not None:
+            if entry[0]["name"] == ref["name"] \
+                    and entry[0]["version"] == ref["version"]:
+                return entry[1]
+            self._retire(index)
+        if self.faults is not None:
+            spec = self.faults.fire("attach")
+            if spec is not None and spec.mode == "shm_unlink":
+                try:  # simulate the coordinator dying mid-republish
+                    os.unlink(os.path.join("/dev/shm", ref["name"]))
+                except OSError:
+                    pass
+        try:
+            seg = _Segment(name=ref["name"])
+        except (OSError, ValueError) as exc:
+            raise ShmAttachLost(
+                f"shared segment {ref['name']} unavailable: {exc}"
+            ) from None
+        magic, gen, version, rows, watermark = PART_HEADER.unpack_from(seg.buf, 0)
+        if magic != PART_MAGIC or gen != ref["generation"] \
+                or version != ref["version"] or rows != ref["rows"]:
+            seg.try_close()
+            raise ShmAttachLost(
+                f"shared segment {ref['name']} stale "
+                f"(v{version} g{gen}, want v{ref['version']} g{ref['generation']})"
+            )
+        if not self.reader.sync(table_ref, watermark):
+            seg.try_close()
+            raise ShmAttachLost(
+                f"encoding table behind watermark {watermark} "
+                f"for segment {ref['name']}"
+            )
+        cols = SharedEdgeColumns.attach(
+            seg, PART_HEADER.size, rows, self.reader.remap, self.table,
+        )
+        self._cols[index] = (ref, cols)
+        if self.stats is not None:
+            self.stats.shm_attaches += 1
+            self.stats.shm_bytes_mapped += seg.size
+        return cols
+
+    def _retire(self, index: int) -> None:
+        # The evicted columns may still be cached by version elsewhere
+        # (``_WorkerStore``), so never mutate them -- just queue the
+        # segment; :meth:`sweep` closes it once the views are gone.
+        entry = self._cols.pop(index, None)
+        if entry is not None:
+            seg = entry[1].segment
+            if seg is not None and not seg.try_close():
+                self._retired.append(seg)
+
+    def close(self) -> None:
+        for index in list(self._cols):
+            self._retire(index)
+        self.sweep()
+        self.reader.close()

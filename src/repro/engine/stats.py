@@ -104,6 +104,23 @@ class EngineStats:
     batch_fill: int = stat_field()
     feasibility_groups: int = stat_field()
     group_hits: int = stat_field()
+    # Shared-memory data plane (engine/shm.py): worker-side segment
+    # attaches and bytes mapped, attaches that had to be abandoned
+    # (segment vanished / stale -> pair retried), coordinator-side
+    # partition publishes, and wall-clock a worker spent computing
+    # tasks (summed exactly across processes by merge()).
+    shm_attaches: int = stat_field()
+    shm_bytes_mapped: int = stat_field()
+    shm_attach_lost: int = stat_field()
+    shm_publishes: int = stat_field(scope="coordinator")
+    worker_busy_s: float = stat_field(0.0)
+    # Steal/stratum scheduling (coordinator-side): pairs dispatched
+    # past a wave's initial fill while results streamed back, estimated
+    # pool idle seconds (slots x wall - busy), and the stratum count the
+    # planner sharded sources into (0 = planner off).
+    pairs_stolen: int = stat_field(scope="coordinator")
+    worker_idle_s: float = stat_field(0.0, scope="coordinator")
+    strata: int = stat_field(kind="gauge", scope="coordinator")
     # Optional histogram registry (solve latency, per-pair compute time and
     # edge yield, prefetch waits).  None unless metrics collection is on --
     # hot paths guard on ``is not None`` so a disabled run pays nothing.

@@ -43,6 +43,13 @@ manifest is durable)
     ``kill_run``  -- SIGKILL the whole process; a later ``--resume``
     must restart from this manifest.
 
+``attach``  (:meth:`repro.engine.shm.ShmAttachCache.attach`, before a
+worker maps a published segment)
+    ``shm_unlink``  -- unlink the segment out from under the worker
+    (as if the coordinator died mid-republish); the attach must fail
+    with ``ShmAttachLost`` and the pair go through the retry path,
+    never silently fall back to the (possibly stale) partition file.
+
 Every spec fires **at most once per run**, enforced by a latch file in
 the engine workdir created with ``O_EXCL`` -- so a retried worker (a
 fresh fork whose per-process counters restarted) does not re-kill
@@ -64,6 +71,7 @@ SITES = {
     "delta-append": ("short_frame", "bad_frame", "bad_zlib"),
     "worker-task": ("kill_worker",),
     "checkpoint": ("kill_run",),
+    "attach": ("shm_unlink",),
 }
 
 

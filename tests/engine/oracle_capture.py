@@ -43,7 +43,8 @@ def canonical_run(run) -> dict:
 
 
 def run_subject(name: str, scale: float, workers: int = 1,
-                reduce: bool = False, kernel: str = "auto"):
+                reduce: bool = False, kernel: str = "auto",
+                **engine_kwargs):
     from repro import EngineOptions, Grapple, GrappleOptions, default_checkers
     from repro.workloads import build_subject
 
@@ -51,10 +52,13 @@ def run_subject(name: str, scale: float, workers: int = 1,
     fsms = [c.fsm for c in default_checkers()]
     # The golden snapshots pin the *engine's* full fixpoint, so the
     # pre-closure reductions stay off unless a test asks for them.
+    # ``engine_kwargs`` forwards extra EngineOptions fields (dispatch
+    # mode, shm/steal/stratum knobs) for the parallel-matrix tests.
     options = GrappleOptions(
         reduce=reduce,
         engine=EngineOptions(
-            memory_budget=MEMORY_BUDGET, workers=workers, kernel=kernel
+            memory_budget=MEMORY_BUDGET, workers=workers, kernel=kernel,
+            **engine_kwargs,
         ),
     )
     return Grapple(source, fsms, options).run()

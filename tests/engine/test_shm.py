@@ -1,0 +1,229 @@
+"""Unit tests for the shared-memory data plane (engine/shm.py):
+publish/attach round trips, generation stamping, the append-only
+encoding-table stream, fault injection, and segment cleanup."""
+
+import os
+from types import SimpleNamespace
+
+import pytest
+
+from repro.engine import shm
+from repro.engine.columnar import EdgeColumns, EncodingTable
+from repro.engine.stats import EngineStats
+from repro.faults import FaultPlan
+
+pytestmark = pytest.mark.skipif(
+    not shm.available(), reason="POSIX shared memory unavailable"
+)
+
+
+def _cols(table, rows):
+    cols = EdgeColumns(table)
+    for s, d, label, encoding in rows:
+        cols.insert(s, d, label, table.intern(encoding))
+    cols.compact()
+    return cols
+
+
+def _rows(cols, table):
+    return sorted(
+        (s, d, label, table.decode(eid))
+        for s, d, label, eid in cols.iter_rows()
+    )
+
+
+ROWS = [
+    (0, 1, 3, (("I", "f", 0, 0),)),
+    (0, 2, 3, (("I", "g", 1, 1),)),
+    (2, 5, 4, (("I", "f", 0, 0), ("I", "h", 2, 2))),
+]
+
+
+@pytest.fixture()
+def hub(tmp_path):
+    hub = shm.ShmHub(shm.workdir_tag(str(tmp_path)), stats=EngineStats())
+    yield hub
+    hub.close()
+
+
+def _segments(tag):
+    prefix = shm.NAME_PREFIX + tag + "_"
+    return sorted(n for n in os.listdir("/dev/shm") if n.startswith(prefix))
+
+
+def test_workdir_tag_stable_and_distinct(tmp_path):
+    a = shm.workdir_tag(str(tmp_path / "a"))
+    assert a == shm.workdir_tag(str(tmp_path / "a"))
+    assert a != shm.workdir_tag(str(tmp_path / "b"))
+    assert len(a) == 10
+
+
+def test_publish_attach_round_trip(hub):
+    table = EncodingTable()
+    cols = _cols(table, ROWS)
+    part = SimpleNamespace(index=0, version=1)
+    ref = hub.publish(part, table, lambda: cols)
+    assert ref is not None and ref["rows"] == 3
+
+    # Worker side: fresh table, ids interned in a different order.
+    worker_table = EncodingTable()
+    worker_table.intern((("I", "z", 9, 9),))
+    cache = shm.ShmAttachCache(worker_table, stats=EngineStats())
+    shared = cache.attach(ref, hub.table_ref)
+    assert _rows(shared, worker_table) == _rows(cols, table)
+    # Zero-copy probe path used by the kernel and the merge-join drain.
+    assert [(d, lab) for d, lab, _e in shared.out_rows(0)] == [(1, 3), (2, 3)]
+    assert cache.stats.shm_attaches == 1
+    assert cache.stats.shm_bytes_mapped >= ref["nbytes"]
+    cache.close()
+
+
+def test_publish_is_version_cached(hub):
+    table = EncodingTable()
+    cols = _cols(table, ROWS)
+    part = SimpleNamespace(index=0, version=1)
+    calls = []
+
+    def loader():
+        calls.append(1)
+        return cols
+
+    ref1 = hub.publish(part, table, loader)
+    ref2 = hub.publish(part, table, loader)
+    assert ref1 is ref2 and len(calls) == 1
+    part.version = 2
+    ref3 = hub.publish(part, table, loader)
+    assert len(calls) == 2
+    assert ref3["generation"] > ref1["generation"]
+    assert hub.stats.shm_publishes == 2
+
+
+def test_invalidate_unlinks_segment(hub):
+    table = EncodingTable()
+    part = SimpleNamespace(index=3, version=1)
+    ref = hub.publish(part, table, lambda: _cols(table, ROWS))
+    assert ref["name"] in _segments(hub.tag)
+    hub.invalidate(3)
+    assert ref["name"] not in _segments(hub.tag)
+
+
+def test_close_unlinks_everything_and_scrub_cleans_leftovers(tmp_path):
+    tag = shm.workdir_tag(str(tmp_path))
+    hub = shm.ShmHub(tag)
+    table = EncodingTable()
+    hub.publish(SimpleNamespace(index=0, version=1), table,
+                lambda: _cols(table, ROWS))
+    assert _segments(tag)
+    hub.close()
+    assert _segments(tag) == []
+    # A crashed predecessor's leftovers are scrubbed by name prefix.
+    leftover = shm._Segment(
+        name=f"{shm.NAME_PREFIX}{tag}_p9g9", create=True, size=64
+    )
+    leftover.try_close()
+    fresh = shm.ShmHub(tag)
+    assert _segments(tag) == []
+    fresh.close()
+
+
+def test_table_stream_survives_growth(hub):
+    """Interning past the segment capacity grows the table segment
+    prefix-identically; an attached reader keeps its parse offset."""
+    table = EncodingTable()
+    cols = _cols(table, ROWS)
+    ref = hub.publish(SimpleNamespace(index=0, version=1), table,
+                      lambda: cols)
+    worker_table = EncodingTable()
+    cache = shm.ShmAttachCache(worker_table)
+    cache.attach(ref, hub.table_ref)
+    gen_before = hub.table_ref["generation"]
+
+    # Force growth: a large batch of fresh encodings.
+    for i in range(4000):
+        table.intern((("I", f"name_{i}", i % 7, i % 5),))
+    hub.sync_table(table)
+    assert hub.table_ref["generation"] > gen_before
+
+    extra = _cols(table, [(7, 8, 1, (("I", "name_1234", 2, 4),))])
+    ref2 = hub.publish(SimpleNamespace(index=1, version=1), table,
+                       lambda: extra)
+    shared = cache.attach(ref2, hub.table_ref)
+    assert _rows(shared, worker_table) == _rows(extra, table)
+    cache.close()
+
+
+def test_stale_generation_raises_attach_lost(hub):
+    table = EncodingTable()
+    part = SimpleNamespace(index=0, version=1)
+    ref = dict(hub.publish(part, table, lambda: _cols(table, ROWS)))
+    ref["generation"] += 1  # ref from a future republish
+    cache = shm.ShmAttachCache(EncodingTable())
+    with pytest.raises(shm.ShmAttachLost):
+        cache.attach(ref, hub.table_ref)
+    cache.close()
+
+
+def test_vanished_segment_raises_attach_lost(hub):
+    table = EncodingTable()
+    ref = hub.publish(SimpleNamespace(index=0, version=1), table,
+                      lambda: _cols(table, ROWS))
+    hub.invalidate(0)  # segment unlinked out from under the worker
+    cache = shm.ShmAttachCache(EncodingTable())
+    with pytest.raises(shm.ShmAttachLost):
+        cache.attach(ref, hub.table_ref)
+    cache.close()
+
+
+def test_shm_unlink_fault_injection(hub):
+    """The dedicated fault site unlinks the target segment right before
+    the attach, which must surface as ShmAttachLost (the retry path),
+    never a silent file fallback."""
+    table = EncodingTable()
+    ref = hub.publish(SimpleNamespace(index=0, version=1), table,
+                      lambda: _cols(table, ROWS))
+    plan = FaultPlan.parse("shm_unlink@attach:1")
+    cache = shm.ShmAttachCache(EncodingTable(), faults=plan)
+    with pytest.raises(shm.ShmAttachLost):
+        cache.attach(ref, hub.table_ref)
+    assert ref["name"] not in _segments(hub.tag)
+    # The fault latched: a republished segment attaches fine.
+    hub._parts.clear()
+    ref2 = hub.publish(SimpleNamespace(index=0, version=1), table,
+                       lambda: _cols(table, ROWS))
+    assert cache.attach(ref2, hub.table_ref) is not None
+    cache.close()
+
+
+def test_attach_cache_hits_by_name_and_version(hub):
+    table = EncodingTable()
+    cols = _cols(table, ROWS)
+    part = SimpleNamespace(index=0, version=1)
+    ref = hub.publish(part, table, lambda: cols)
+    stats = EngineStats()
+    cache = shm.ShmAttachCache(EncodingTable(), stats=stats)
+    first = cache.attach(ref, hub.table_ref)
+    assert cache.attach(ref, hub.table_ref) is first
+    assert stats.shm_attaches == 1
+    # A republish (new generation) misses and re-attaches.
+    part.version = 2
+    ref2 = hub.publish(part, table, lambda: cols)
+    second = cache.attach(ref2, hub.table_ref)
+    assert second is not first
+    assert stats.shm_attaches == 2
+    cache.close()
+
+
+def test_broken_hub_degrades_to_none(hub, monkeypatch):
+    table = EncodingTable()
+
+    def boom(*a, **kw):
+        raise OSError("no space left on device")
+
+    monkeypatch.setattr(shm, "_Segment", boom)
+    ref = hub.publish(SimpleNamespace(index=0, version=1), table,
+                      lambda: _cols(table, ROWS))
+    assert ref is None and hub.broken
+    monkeypatch.undo()
+    # Broken stays broken: the run falls back to files for good.
+    assert hub.publish(SimpleNamespace(index=0, version=2), table,
+                       lambda: _cols(table, ROWS)) is None

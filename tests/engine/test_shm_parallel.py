@@ -1,0 +1,241 @@
+"""Integration tests for the rebuilt parallel data plane: the
+shm/shard/steal configuration matrix against the serial oracle, stratum
+planner behaviour, the shm_unlink fault site, and segment hygiene across
+a kill -9 / --resume round trip."""
+
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import EngineOptions, Grapple, GrappleOptions, default_checkers
+from repro.engine import shm
+from repro.engine.scheduling import StratumPlanner
+from repro.workloads import build_subject
+
+HAVE_SHM = shm.available()
+
+
+def _run(source, workers, **engine_kwargs):
+    options = GrappleOptions(
+        engine=EngineOptions(
+            memory_budget=4 << 20, workers=workers, **engine_kwargs
+        )
+    )
+    fsms = [c.fsm for c in default_checkers()]
+    return Grapple(source, fsms, options).run()
+
+
+def _fixpoint(run):
+    edges = frozenset(run.alias_phase.engine_result.iter_edges()) | frozenset(
+        run.dataflow_phase.engine_result.iter_edges()
+    )
+    warnings = sorted(
+        (w.checker, w.kind, w.site, w.state, w.line)
+        for w in run.report.warnings
+    )
+    return edges, warnings
+
+
+# -- configuration matrix ------------------------------------------------------
+
+
+def test_fork_matrix_matches_serial():
+    """Every combination of shm on/off and source sharding on/off must
+    reproduce the serial fixpoint bit-for-bit.  (shm=on, shard=auto is
+    the default and covered again by test_parallel.py.)"""
+    source = build_subject("zookeeper", scale=0.25).source
+    serial = _fixpoint(_run(source, workers=1))
+    for shm_on in (True, False):
+        for shard in ("auto", "off"):
+            got = _run(
+                source, workers=4, parallel_dispatch="fork",
+                shm=shm_on, shard_by_source=shard,
+            )
+            assert _fixpoint(got) == serial, (
+                f"shm={shm_on} shard={shard} diverged from serial"
+            )
+
+
+def test_no_steal_matches_serial():
+    source = build_subject("zookeeper", scale=0.25).source
+    serial = _fixpoint(_run(source, workers=1))
+    barrier = _run(source, workers=4, parallel_dispatch="fork", steal=False)
+    assert _fixpoint(barrier) == serial
+    assert barrier.alias_phase.engine_result.stats.pairs_stolen == 0
+
+
+def test_steal_runs_are_reproducible():
+    """Two identical steal-enabled runs must produce the same schedule
+    (pairs_stolen) and the same fixpoint: steal decisions are keyed to
+    absorb order, never wall-clock."""
+    source = build_subject("zookeeper", scale=0.25).source
+    a = _run(source, workers=4, parallel_dispatch="fork")
+    b = _run(source, workers=4, parallel_dispatch="fork")
+    assert _fixpoint(a) == _fixpoint(b)
+    assert (
+        a.alias_phase.engine_result.stats.pairs_stolen
+        == b.alias_phase.engine_result.stats.pairs_stolen
+    )
+
+
+# -- stratum planner -----------------------------------------------------------
+
+
+def test_strata_matrix_same_warnings():
+    """Strata 1/2/8 at workers 1 and 4 all emit byte-identical
+    warnings (the planner reorders work, never changes it)."""
+    source = build_subject("zookeeper", scale=0.2).source
+    baseline = None
+    for workers in (1, 4):
+        for strata in (1, 2, 8):
+            run = _run(
+                source, workers=workers, parallel_dispatch="fork",
+                shard_by_source=strata,
+            )
+            warnings = _fixpoint(run)[1]
+            if baseline is None:
+                baseline = warnings
+            assert warnings == baseline, (
+                f"workers={workers} strata={strata} changed the warnings"
+            )
+
+
+def test_planner_resolution_interacts_with_effective_workers():
+    """shard_by_source="auto" derives strata from the pool: without a
+    pool (inline dispatch, or effective_workers collapsing to 1) it
+    resolves to 0; an explicit stratum count engages even inline."""
+    source = build_subject("zookeeper", scale=0.2).source
+    auto = _run(source, workers=2, parallel_dispatch="inline")
+    assert auto.alias_phase.engine_result.stats.strata == 0
+    explicit = _run(
+        source, workers=2, parallel_dispatch="inline", shard_by_source=8
+    )
+    assert explicit.alias_phase.engine_result.stats.strata == 8
+    serial = _fixpoint(_run(source, workers=1))
+    assert _fixpoint(explicit) == serial
+    forked = _run(source, workers=4, parallel_dispatch="fork")
+    assert forked.alias_phase.engine_result.stats.strata == 4
+
+
+def test_stratum_planner_orders_same_stratum_first():
+    class _Store:
+        partitions = list(range(8))
+
+    planner = StratumPlanner(_Store(), strata=4)
+    planner.rebuild()
+    assert [planner.stratum(i) for i in range(8)] == [0, 0, 1, 1, 2, 2, 3, 3]
+    # Same-stratum pairs sort ahead of cross-stratum stitch-up work.
+    assert planner.wave_key((0, 1)) < planner.wave_key((0, 2))
+    assert planner.wave_key((2, 3)) < planner.wave_key((1, 2))
+    # Cross-stratum pairs order by the lowest stratum touched.
+    assert planner.wave_key((0, 7)) < planner.wave_key((2, 7))
+
+
+def test_stratum_planner_tracks_splits():
+    class _Store:
+        partitions = list(range(4))
+
+    store = _Store()
+    planner = StratumPlanner(store, strata=2)
+    planner.rebuild()
+    assert [planner.stratum(i) for i in range(4)] == [0, 0, 1, 1]
+    store.partitions = list(range(6))  # two splits landed
+    planner.rebuild()
+    assert [planner.stratum(i) for i in range(6)] == [0, 0, 0, 1, 1, 1]
+
+
+# -- fault injection -----------------------------------------------------------
+
+
+@pytest.mark.skipif(not HAVE_SHM, reason="POSIX shared memory unavailable")
+def test_shm_unlink_fault_retries_and_matches(tmp_path):
+    """Unlinking a segment out from under the first attach must go
+    through the CorruptPartition retry path (republish + requeue) and
+    still converge to the serial fixpoint."""
+    source = build_subject("zookeeper", scale=0.25).source
+    serial = _fixpoint(_run(source, workers=1))
+    faulted = _run(
+        source, workers=4, parallel_dispatch="fork",
+        workdir=str(tmp_path / "wd"),
+        fault_plan="shm_unlink@attach:1",
+    )
+    assert _fixpoint(faulted) == serial
+    stats = faulted.alias_phase.engine_result.stats
+    assert stats.retries >= 1, "the lost attach never reached the retry path"
+
+
+# -- kill -9 hygiene and resume ------------------------------------------------
+
+_SUBJECT_PROG = """\
+import sys
+from repro import Grapple, GrappleOptions, EngineOptions
+from repro.checkers.checker import ALL_CHECKERS, Checker
+from repro.workloads import build_subject
+
+workdir, resume, fault_plan = sys.argv[1:4]
+subject = build_subject("zookeeper", scale=0.3)
+options = GrappleOptions(
+    engine=EngineOptions(
+        workdir=workdir,
+        resume=resume == "1",
+        fault_plan=fault_plan or None,
+        workers=4,
+        parallel_dispatch="fork",
+    )
+)
+fsms = [Checker.by_name(n).fsm for n in ALL_CHECKERS]
+run = Grapple(subject.source, fsms, options).run()
+for warning in run.report.warnings:
+    print(warning)
+print(run.report.summary())
+"""
+
+
+def _subject_run(workdir, *, resume=False, fault_plan=""):
+    env = dict(
+        os.environ,
+        PYTHONPATH=os.pathsep.join(sys.path),
+        PYTHONHASHSEED="0",
+    )
+    return subprocess.run(
+        [sys.executable, "-c", _SUBJECT_PROG, str(workdir),
+         "1" if resume else "0", fault_plan],
+        env=env, capture_output=True, text=True, timeout=600,
+    )
+
+
+def _grpl_segments():
+    try:
+        return {n for n in os.listdir("/dev/shm") if n.startswith("grpl_")}
+    except OSError:
+        return set()
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(not HAVE_SHM, reason="POSIX shared memory unavailable")
+def test_kill9_leaves_no_stale_segments_and_resume_matches(tmp_path):
+    """SIGKILL a 4-worker run mid-closure: the resource tracker (which
+    outlives the coordinator) must unlink every published segment, and
+    a --resume must reproduce the uninterrupted run's warnings."""
+    before = _grpl_segments()
+    workdir = tmp_path / "wd"
+    killed = _subject_run(workdir, fault_plan="kill_run@checkpoint:2")
+    assert killed.returncode == -9, killed.stderr[-2000:]
+
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        stale = _grpl_segments() - before
+        if not stale:
+            break
+        time.sleep(0.25)
+    assert not stale, f"stale shared-memory segments survived: {stale}"
+
+    resumed = _subject_run(workdir, resume=True)
+    assert resumed.returncode == 0, resumed.stderr[-2000:]
+    clean = _subject_run(tmp_path / "wd-clean")
+    assert clean.returncode == 0, clean.stderr[-2000:]
+    assert resumed.stdout == clean.stdout
+    assert _grpl_segments() - before == set()
