@@ -947,6 +947,12 @@ class ParallelCoordinator:
         of completion order, and every steal decision is keyed to the
         absorb count (never to wall-clock), so the schedule -- and with
         it the witness-capped output -- is reproducible run over run.
+        Free slots are therefore counted against the *dispatched-but-
+        unabsorbed* set, never against the live future set: a completed
+        task waiting in the reorder buffer no longer occupies a real
+        pool slot, but counting its slot as free would make refill
+        points (and with them the busy set each steal selects under)
+        depend on completion timing.
         The busy set handed to the scheduler claims the partitions of
         every dispatched-but-unabsorbed pair, *including* completed ones
         waiting in the reorder buffer; that preserves the merge
@@ -976,7 +982,7 @@ class ParallelCoordinator:
 
         def refill() -> None:
             nonlocal dispatched, steal_budget
-            while steal_budget > 0 and len(inflight) < self._procs:
+            while steal_budget > 0 and len(outstanding) < self._procs:
                 if engine._deadline is not None and (
                     time.perf_counter() > engine._deadline
                 ):

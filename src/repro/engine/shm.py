@@ -23,6 +23,10 @@ Python analogue on one host:
 
 Lifetime rules (satellite: guaranteed cleanup):
 
+* the plane only engages on Linux with ``/dev/shm`` mounted
+  (:func:`available`): the last-resort reclaim below works by listing
+  that tmpfs, so platforms whose named segments have no filesystem
+  presence stay on the file data plane;
 * every segment name starts with ``grpl_<tag>_`` where ``tag`` hashes
   the phase workdir, so a fresh coordinator can scrub leftovers from a
   crashed predecessor (:func:`scrub`);
@@ -60,6 +64,7 @@ import atexit
 import hashlib
 import os
 import struct
+import sys
 
 from repro.engine import serialize
 from repro.engine.columnar import SharedEdgeColumns
@@ -78,6 +83,11 @@ ENTRY_STRING = 0x01
 ENTRY_ENCODING = 0x02
 NAME_PREFIX = "grpl_"
 TABLE_MIN_BYTES = 1 << 14
+#: Where Linux backs POSIX named shared memory.  Crash hygiene (scrub
+#: of a dead predecessor's leftovers) and the shm_unlink fault site
+#: both work by filesystem name, so the plane is gated on this
+#: directory existing -- see :func:`available`.
+SHM_DIR = "/dev/shm"
 
 
 class ShmAttachLost(CorruptPartition):
@@ -90,8 +100,21 @@ class ShmAttachLost(CorruptPartition):
 
 
 def available() -> bool:
-    """True when named shared memory is usable on this platform."""
-    return _shared_memory is not None and os.name == "posix"
+    """True when named shared memory is usable on this platform.
+
+    Restricted to Linux with :data:`SHM_DIR` mounted: the cleanup
+    guarantees include scrubbing leftovers from a predecessor that lost
+    both its coordinator *and* its resource tracker to SIGKILL, and
+    :func:`scrub` can only find those by listing the tmpfs that backs
+    the segments.  On platforms where named segments have no
+    filesystem presence (e.g. macOS) that last-resort reclaim is
+    impossible, so the engine keeps its file data plane there.
+    """
+    return (
+        _shared_memory is not None
+        and sys.platform == "linux"
+        and os.path.isdir(SHM_DIR)
+    )
 
 
 def workdir_tag(workdir: str) -> str:
@@ -103,16 +126,15 @@ def workdir_tag(workdir: str) -> str:
 def scrub(tag: str) -> list[str]:
     """Unlink leftover segments for ``tag`` from a crashed run."""
     removed = []
-    base = "/dev/shm"
     prefix = NAME_PREFIX + tag + "_"
     try:
-        names = os.listdir(base)
+        names = os.listdir(SHM_DIR)
     except OSError:
         return removed
     for name in names:
         if name.startswith(prefix):
             try:
-                os.unlink(os.path.join(base, name))
+                os.unlink(os.path.join(SHM_DIR, name))
             except OSError:
                 continue
             removed.append(name)
@@ -203,9 +225,17 @@ class ShmHub:
             self._gen += 1
             name = f"{NAME_PREFIX}{self.tag}_enc_g{self._gen}"
             fresh = _Segment(name=name, create=True, size=cap)
-            if seg is not None:  # prefix-identical copy keeps readers valid
-                end = TABLE_HEADER.size + self._length
-                fresh.buf[TABLE_HEADER.size:end] = seg.buf[TABLE_HEADER.size:end]
+            try:
+                if seg is not None:  # prefix-identical copy keeps readers valid
+                    end = TABLE_HEADER.size + self._length
+                    fresh.buf[TABLE_HEADER.size:end] = \
+                        seg.buf[TABLE_HEADER.size:end]
+            except OSError:
+                # ``fresh`` is not yet self._table_seg: unlink it before
+                # surfacing the failure or close() never reclaims it.
+                self._unlink(fresh)
+                raise
+            if seg is not None:
                 self._unlink(seg)
             seg = fresh
             self._table_seg = seg
@@ -243,6 +273,7 @@ class ShmHub:
         entry = self._parts.get(part.index)
         if entry is not None and entry[0]["version"] == part.version:
             return entry[0]
+        seg = None
         try:
             cols = loader()
             cols.compact()
@@ -260,7 +291,12 @@ class ShmHub:
             PART_HEADER.pack_into(seg.buf, 0, PART_MAGIC, self._gen,
                                   part.version, rows, self._synced)
         except OSError:
-            self.broken = True  # e.g. /dev/shm full: fall back to files
+            # e.g. /dev/shm full: fall back to files.  A segment created
+            # before the failure is not yet in self._parts, so close()
+            # would never reclaim it -- unlink it here.
+            if seg is not None:
+                self._unlink(seg)
+            self.broken = True
             return None
         ref = {
             "index": part.index, "name": name, "generation": self._gen,
@@ -400,7 +436,7 @@ class ShmAttachCache:
             spec = self.faults.fire("attach")
             if spec is not None and spec.mode == "shm_unlink":
                 try:  # simulate the coordinator dying mid-republish
-                    os.unlink(os.path.join("/dev/shm", ref["name"]))
+                    os.unlink(os.path.join(SHM_DIR, ref["name"]))
                 except OSError:
                     pass
         try:

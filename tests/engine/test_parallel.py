@@ -7,9 +7,14 @@ even on single-CPU machines, so the wave protocol, the pickled task/result
 round trip, and the coordinator's merge path are all exercised.
 """
 
+from concurrent.futures import Future
+from types import SimpleNamespace
+
 import pytest
 
 from repro import EngineOptions, Grapple, GrappleOptions, default_checkers
+from repro.engine import parallel
+from repro.engine.parallel import ParallelCoordinator, WaveResult, WaveTask
 from repro.engine.scheduling import PairScheduler
 from repro.engine.stats import EngineStats
 from repro.workloads import build_subject
@@ -117,6 +122,127 @@ def test_select_wave_serial_order_prefix():
         order.append(wave[0])
         scheduler.mark_processed(wave[0], scheduler.captured_versions(wave[0]))
     assert order == sorted(order)
+
+
+class _StealQueue:
+    """Scheduler stand-in: ``select_wave(1)`` hands out the first queued
+    candidate disjoint from ``busy``, so which pair a steal selects is
+    sensitive to the busy set it runs under."""
+
+    def __init__(self, candidates):
+        self.candidates = list(candidates)
+
+    def select_wave(self, width, planner=None, busy=None):
+        busy = busy or set()
+        for n, pair in enumerate(self.candidates):
+            if pair[0] not in busy and pair[1] not in busy:
+                return [self.candidates.pop(n)]
+        return []
+
+    def mark_processed(self, pair, captured):
+        pass
+
+    def captured_versions(self, pair):
+        return ()
+
+
+class _StealHarness(ParallelCoordinator):
+    """ParallelCoordinator shorn of engine/store/pool: just enough state
+    for ``_stream_wave``, with futures completed by a scripted ``wait``
+    instead of real workers."""
+
+    def __init__(self, candidates, procs):
+        self.engine = SimpleNamespace(
+            _scheduler=_StealQueue(candidates),
+            _deadline=None,
+            _quarantined_parts=set(),
+        )
+        self.store = SimpleNamespace(partitions=[])
+        self.stats = EngineStats()
+        self.options = SimpleNamespace(max_retries=0)
+        self._procs = procs
+        self._steal = True
+        self._planner = None
+        self._hub = None
+        self._joins = SimpleNamespace(pair_has_join=lambda parts, pair: True)
+        self.by_future: dict = {}
+        self.stolen: list = []
+        self.absorbed: list = []
+
+    def _stage_pair(self, task):
+        pass
+
+    def _submit(self, task):
+        future = Future()
+        self.by_future[future] = task
+        return future
+
+    def _attempt_inline(self, task):
+        return WaveResult(pair=task.pair, applied=True)
+
+
+def _scripted_wait(harness, script):
+    """A ``futures_wait`` whose completion order follows ``script`` (a
+    list of seq batches); once the script runs dry, everything still
+    pending completes at once."""
+
+    def fake_wait(fs, return_when=None):
+        step = script.pop(0) if script else None
+        done = set()
+        for future in fs:
+            if step is None or harness.by_future[future].seq in step:
+                future.set_result(WaveResult(pair=harness.by_future[future].pair))
+                done.add(future)
+        if not done:  # scripted seqs already harvested: drain the rest
+            for future in fs:
+                future.set_result(WaveResult(pair=harness.by_future[future].pair))
+                done.add(future)
+        return done, set(fs) - done
+
+    return fake_wait
+
+
+def test_steal_schedule_immune_to_completion_timing(monkeypatch):
+    """Steal refills must be a pure function of the absorb count: runs
+    whose pooled tasks complete in different wall-clock orders (one
+    staggered, one all-at-once) must dispatch the identical steal
+    sequence.  Free slots are counted against the dispatched-but-
+    unabsorbed set -- gating on harvested futures instead would fire
+    steals at timing-dependent points, under different busy sets, and
+    pick different pairs (here: burst completion would steal (4, 5)
+    before (2, 9))."""
+    wave = [(0, 1), (8, 9), (2, 3), (6, 7)]
+    candidates = [(2, 9), (4, 5)]
+
+    def run(script):
+        harness = _StealHarness(candidates, procs=2)
+        monkeypatch.setattr(
+            parallel, "futures_wait", _scripted_wait(harness, script)
+        )
+
+        def build_task(pair, seq, seed):
+            harness.stolen.append(pair)
+            return WaveTask(pair=pair, parts=None, deltas={}, seq=seq)
+
+        tasks = [
+            WaveTask(pair=pair, parts=None, deltas={}, seq=seq)
+            for seq, pair in enumerate(wave)
+        ]
+        harness._stream_wave(
+            tasks, harness.absorbed.append, build_task, lambda: [],
+            {}, {}, {},
+        )
+        return harness
+
+    staggered = run([[1], [2], [3]])
+    burst = run([[1, 2, 3]])
+    assert staggered.stolen == burst.stolen == [(2, 9), (4, 5)]
+    assert (
+        [r.pair for r in staggered.absorbed]
+        == [r.pair for r in burst.absorbed]
+        == wave + [(2, 9), (4, 5)]
+    )
+    assert staggered.stats.pairs_stolen == burst.stats.pairs_stolen == 2
 
 
 def test_engine_stats_merge_sums_times_and_counters():

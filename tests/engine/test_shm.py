@@ -213,6 +213,63 @@ def test_attach_cache_hits_by_name_and_version(hub):
     cache.close()
 
 
+def test_publish_failure_after_create_unlinks_partial_segment(hub, monkeypatch):
+    """An OSError raised *after* the partition segment exists (here the
+    header pack; on a real host the column copy hitting a full
+    /dev/shm) must unlink the partial segment: it is not yet in
+    hub._parts, so close()/atexit would never reclaim it."""
+    table = EncodingTable()
+
+    class _BoomHeader:
+        size = shm.PART_HEADER.size
+
+        @staticmethod
+        def pack_into(*args, **kwargs):
+            raise OSError("no space left on device")
+
+    monkeypatch.setattr(shm, "PART_HEADER", _BoomHeader)
+    ref = hub.publish(SimpleNamespace(index=0, version=1), table,
+                      lambda: _cols(table, ROWS))
+    assert ref is None and hub.broken
+    assert not any("_p0g" in name for name in _segments(hub.tag))
+
+
+def test_table_growth_failure_unlinks_fresh_segment(hub, monkeypatch):
+    """An OSError during the grow-and-copy of the encoding-table stream
+    must unlink the just-created bigger segment (not yet tracked as
+    hub._table_seg) and leave the old generation intact."""
+    table = EncodingTable()
+    hub.publish(SimpleNamespace(index=0, version=1), table,
+                lambda: _cols(table, ROWS))
+    before = hub.table_ref["name"]
+    for i in range(4000):  # next sync must outgrow the current capacity
+        table.intern((("I", f"grow_{i}", i % 7, i % 5),))
+
+    class _TornSegment(shm._Segment):
+        @property
+        def buf(self):
+            raise OSError("mmap write failed")
+
+    monkeypatch.setattr(shm, "_Segment", _TornSegment)
+    with pytest.raises(OSError):
+        hub.sync_table(table)
+    monkeypatch.undo()
+    enc_segments = [n for n in _segments(hub.tag) if "_enc_g" in n]
+    assert enc_segments == [before]
+    assert hub.table_ref["name"] == before
+
+
+def test_available_requires_scrubbable_backing(monkeypatch):
+    """The plane only engages where scrub() can actually find leftover
+    segments: no /dev/shm, no shared-memory data plane."""
+    real_isdir = os.path.isdir
+    monkeypatch.setattr(
+        os.path, "isdir",
+        lambda p: False if p == shm.SHM_DIR else real_isdir(p),
+    )
+    assert not shm.available()
+
+
 def test_broken_hub_degrades_to_none(hub, monkeypatch):
     table = EncodingTable()
 
