@@ -74,13 +74,17 @@ def _measure_in_this_process(workers: int) -> dict:
         (w.checker, w.kind, w.site, w.state) for w in run.report.warnings
     )
     stats = run.stats
+    # The serial engine never populates the data-plane counters; a hard
+    # zero would read as "the workers were idle", so the workers=1 row
+    # reports them as null ("not applicable") and compare.py skips them.
+    parallel = workers > 1
     return {
         "wall_s": round(wall, 3),
         "pairs_processed": stats.pairs_processed,
-        "pairs_stolen": stats.pairs_stolen,
-        "shm_publishes": stats.shm_publishes,
-        "worker_busy_s": round(stats.worker_busy_s, 3),
-        "worker_idle_s": round(stats.worker_idle_s, 3),
+        "pairs_stolen": stats.pairs_stolen if parallel else None,
+        "shm_publishes": stats.shm_publishes if parallel else None,
+        "worker_busy_s": round(stats.worker_busy_s, 3) if parallel else None,
+        "worker_idle_s": round(stats.worker_idle_s, 3) if parallel else None,
         "warnings": len(run.report.warnings),
         "fingerprint": fingerprint,
     }
@@ -174,11 +178,14 @@ def test_parallel_scaling(capsys):
             entry = report["results"][str(workers)]
             speedup = report["speedup_vs_serial"][str(workers)]
             flag = " [oversubscribed]" if entry["oversubscribed"] else ""
+            stolen = (
+                f", {entry['pairs_stolen']} stolen"
+                if entry["pairs_stolen"] is not None else ""
+            )
             print(
                 f"workers={workers}: best {entry['best_s']:.2f}s"
                 f" ({speedup:.2f}x vs serial,"
-                f" {entry['pairs_processed']} pairs,"
-                f" {entry['pairs_stolen']} stolen){flag}"
+                f" {entry['pairs_processed']} pairs{stolen}){flag}"
             )
     for workers in WORKER_COUNTS:
         assert report["results"][str(workers)]["warnings"] == (

@@ -62,11 +62,18 @@ class GrappleRun:
         merged.merge_phase(self.dataflow_phase.engine_result.stats)
         return merged
 
-    def run_report(self, subject: str | None = None) -> dict:
-        """The ``grapple/run-report`` JSON document for this run."""
+    def run_report(
+        self, subject: str | None = None, telemetry: dict | None = None
+    ) -> dict:
+        """The ``grapple/run-report`` JSON document for this run.
+
+        ``telemetry`` is a resource sampler's timeseries document
+        (``repro.obs.profile``); when given it rides in the report's
+        optional ``telemetry`` section (schema version 2).
+        """
         from repro.obs.report import build_run_report
 
-        return build_run_report(self, subject=subject)
+        return build_run_report(self, subject=subject, telemetry=telemetry)
 
 
 class Grapple:

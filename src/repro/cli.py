@@ -112,6 +112,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print a progress line to stderr every N"
                        " seconds (pairs done/eligible, edges, budget"
                        " occupancy)")
+    check.add_argument("--profile", action="store_true",
+                       help="full profiling bundle: record a Chrome trace"
+                       " (default trace.json unless --trace names one),"
+                       " a run report with resource-telemetry timeseries"
+                       " (default run-report.json unless --metrics-json"
+                       " names one), and start the background gauge"
+                       " sampler; analyze afterwards with"
+                       " 'python -m repro.obs analyze'")
+    check.add_argument("--sample-interval", type=float, metavar="SECONDS",
+                       default=0.25,
+                       help="resource-sampler cadence under --profile"
+                       " (default 0.25)")
     check.add_argument("--workdir", metavar="DIR", default=None,
                        help="keep partition files (and per-wave checkpoint"
                        " manifests) in DIR instead of a throwaway temp"
@@ -151,11 +163,23 @@ def cmd_check(args) -> int:
         checkers = [
             Checker.by_name(n.strip()) for n in args.checkers.split(",")
         ]
+    if args.profile:
+        # --profile is the bundle: trace + run report + gauge sampler,
+        # with conventional filenames unless the dedicated flags chose.
+        if not args.trace:
+            args.trace = "trace.json"
+        if not args.metrics_json:
+            args.metrics_json = "run-report.json"
     recorder = None
     if args.trace:
         from repro.obs.trace import TraceRecorder
 
         recorder = TraceRecorder()
+    sampler = None
+    if args.profile:
+        from repro.obs.profile import ResourceSampler
+
+        sampler = ResourceSampler(interval=args.sample_interval)
     if args.resume and not args.workdir:
         print("repro: --resume requires --workdir (a checkpoint can only"
               " live in a directory that survives the run)", file=sys.stderr)
@@ -196,6 +220,7 @@ def cmd_check(args) -> int:
             trace=recorder,
             metrics=bool(args.metrics_json),
             heartbeat=args.heartbeat,
+            sampler=sampler,
             workdir=args.workdir,
             resume=args.resume,
             max_retries=args.max_retries,
@@ -216,6 +241,9 @@ def cmd_check(args) -> int:
     except CheckpointMismatch as exc:
         print(f"repro: cannot resume: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if sampler is not None:
+            sampler.stop()
     if recorder is not None:
         recorder.export(args.trace)
         print(
@@ -226,8 +254,12 @@ def cmd_check(args) -> int:
     if args.metrics_json:
         import json
 
+        report = run.run_report(
+            subject=args.file,
+            telemetry=sampler.timeseries() if sampler is not None else None,
+        )
         with open(args.metrics_json, "w") as f:
-            json.dump(run.run_report(subject=args.file), f, indent=2)
+            json.dump(report, f, indent=2)
             f.write("\n")
         print(f"run report -> {args.metrics_json}", file=sys.stderr)
     print(run.report.summary())

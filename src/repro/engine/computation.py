@@ -111,6 +111,15 @@ class EngineOptions:
     trace: object = None
     metrics: bool = False
     heartbeat: float | None = None
+    # Resource telemetry (repro.obs.profile): a ResourceSampler whose
+    # background thread records gauge timeseries (RSS, cache occupancy,
+    # eligible pairs, shm bytes, GC pauses).  The engine binds its
+    # providers during a run; forked workers see the object through
+    # _FORK_STATE copy-on-write and build their *own* sampler from its
+    # interval (a thread never survives fork).  None = profiling off,
+    # and -- like the rest of the observability stack -- off costs
+    # nothing and adds nothing to the run report.
+    sampler: object = None
     # Fault tolerance (DESIGN.md §11).  Checkpoint manifests are written
     # after every wave (serial: every pair) when ``workdir`` is explicit
     # -- a temp workdir cannot be pointed at again, so checkpointing is
@@ -381,6 +390,20 @@ class GraphEngine:
                 )
         self._graph = graph
         self._store = store
+        # Telemetry providers for this phase: the sampler thread (one per
+        # process, started idempotently) polls these at its cadence; they
+        # are unbound below before the store is torn down.
+        sampler = self.options.sampler
+        if sampler is not None:
+            sampler.bind("partition_cache_occupancy", store.cache_occupancy)
+            sampler.bind(
+                "eligible_pairs",
+                lambda: (
+                    self._scheduler.eligible_count()
+                    if self._scheduler is not None else None
+                ),
+            )
+            sampler.start()
         self._resume_manifest = manifest
         self._ctx = ComposeContext(
             feasible=self._feasible, vertex=graph.vertices.lookup
@@ -401,6 +424,13 @@ class GraphEngine:
                 else:
                     self._serial_loop()
         finally:
+            if sampler is not None:
+                # Capture the phase's final state, then detach providers
+                # before the store they close over is torn down (the CLI
+                # owns the thread's lifetime across both phases).
+                sampler.sample_once()
+                sampler.unbind("partition_cache_occupancy")
+                sampler.unbind("eligible_pairs")
             # Post-run edge iteration must not count prefetch misses or
             # race the writer thread: tear the pipeline down here.
             store.drop_pipeline()

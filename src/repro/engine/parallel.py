@@ -102,6 +102,7 @@ from repro.engine.computation import GraphEngine
 from repro.engine.partition import _merge_edges
 from repro.engine.scheduling import PairScheduler, StratumPlanner
 from repro.engine.stats import EngineStats
+from repro.obs.trace import NULL_RECORDER
 
 #: Caps on cross-process cache traffic per wave.
 CACHE_LOG_CAP = 4096
@@ -190,6 +191,10 @@ class WaveResult:
     #: (:meth:`repro.obs.trace.TraceRecorder.ship` payload); None when
     #: tracing is off or the task ran inline against the shared recorder.
     trace: dict | None = None
+    #: Gauge rows shipped from an out-of-process worker's resource
+    #: sampler (:meth:`repro.obs.profile.ResourceSampler.ship` payload);
+    #: None when profiling is off or the task ran inline.
+    telemetry: dict | None = None
 
 
 def _encode_edge_rows(edges: list) -> bytes:
@@ -409,6 +414,18 @@ class _WorkerEngine(GraphEngine):
 
             self.trace = TraceRecorder(role="worker")
             self._ships_trace = True
+        # Same scheme for telemetry: the coordinator's sampler object
+        # crosses the fork, but its thread does not -- an out-of-process
+        # worker builds a fresh sampler (reading only the cadence) and
+        # ships drained rows back in each WaveResult.
+        self._sampler = None
+        if store is None and options.sampler is not None:
+            from repro.obs.profile import ResourceSampler
+
+            self._sampler = ResourceSampler(
+                interval=options.sampler.interval, role="worker"
+            )
+            self._sampler.start()
         from repro.grammar.cfg_grammar import ComposeContext
 
         self._ctx = ComposeContext(
@@ -604,6 +621,9 @@ class _WorkerEngine(GraphEngine):
             stats=self.stats,
             cache_entries=self.cache.drain_added(CACHE_LOG_CAP),
             trace=self.trace.ship() if self._ships_trace else None,
+            telemetry=(
+                self._sampler.ship() if self._sampler is not None else None
+            ),
         )
 
 
@@ -777,6 +797,9 @@ class ParallelCoordinator:
             self._hub = shm_mod.ShmHub(
                 shm_mod.workdir_tag(self.store.workdir), stats=self.stats
             )
+        sampler = self.options.sampler
+        if sampler is not None and self._hub is not None:
+            sampler.bind("shm_bytes_mapped", self._hub.mapped_bytes)
         # Stratum planner: resolve --shard-by-source ("auto" = one
         # stratum per pool slot; the planner engages from 2 strata up,
         # since 1 stratum is definitionally the serial pair order).
@@ -819,6 +842,8 @@ class ParallelCoordinator:
             self._wave_loop()
         finally:
             _FORK_STATE = None
+            if sampler is not None and self._hub is not None:
+                sampler.unbind("shm_bytes_mapped")
             if self._pool is not None:
                 self._pool.shutdown(wait=True, cancel_futures=True)
             if self._hub is not None:
@@ -967,6 +992,7 @@ class ParallelCoordinator:
         """
         engine = self.engine
         scheduler = engine._scheduler
+        trace = getattr(engine, "trace", NULL_RECORDER)
         inflight: dict = {}     # future -> task
         outstanding: dict = {}  # seq -> task (dispatched, unabsorbed)
         buffered: dict = {}     # seq -> result (reorder buffer)
@@ -1001,6 +1027,10 @@ class ParallelCoordinator:
                 dispatched += 1
                 steal_budget -= 1
                 self.stats.pairs_stolen += 1
+                trace.instant(
+                    "steal", cat="steal",
+                    pair=f"{pair[0]},{pair[1]}", seq=task.seq,
+                )
                 self._stage_pair(task)
                 outstanding[task.seq] = task
                 inflight[self._submit(task)] = task
@@ -1108,6 +1138,7 @@ class ParallelCoordinator:
         engine = self.engine
         trace = engine.trace
         heartbeat = engine._heartbeat
+        sampler = self.options.sampler
         scheduler = PairScheduler(store)
         engine._scheduler = scheduler
         if engine._scheduler_seed:
@@ -1217,7 +1248,13 @@ class ParallelCoordinator:
             pool_busy = [0.0]
 
             def absorb(result):
+                # The merge below is THE serialized stage the profiler
+                # exists to attribute: span it so the critical-path
+                # analyzer can tell absorb time from genuine idle.
+                tick = trace.begin() if trace.enabled else 0.0
                 trace.absorb(result.trace)
+                if sampler is not None:
+                    sampler.absorb(result.telemetry)
                 stats.merge(result.stats)
                 if not result.applied:
                     pool_busy[0] += result.stats.worker_busy_s
@@ -1267,6 +1304,11 @@ class ParallelCoordinator:
                         warm_cache[key] = value
                         fresh_entries.append((key, value))
                 spill_results.append(result)
+                if trace.enabled:
+                    trace.end(
+                        "absorb", tick, cat="merge",
+                        pair=f"{i},{j}", inline=result.applied,
+                    )
 
             if pooled:
                 self._stream_wave(
@@ -1295,6 +1337,7 @@ class ParallelCoordinator:
             # delta-file append instead of a load-merge-save round trip;
             # their logs then over-approximate (duplicates are harmless
             # seeds -- they recompose into edges that dedup away).
+            spill_tick = trace.begin() if trace.enabled else 0.0
             combined: dict = {}
             for result in spill_results:
                 for index, chunk in result.spills.items():
@@ -1316,6 +1359,11 @@ class ParallelCoordinator:
                     touched.add(index)
                     for _src, dst, label_id, _enc in added:
                         self._joins.add(index, dst, label_id)
+            if trace.enabled and combined:
+                trace.end(
+                    "spill-merge", spill_tick, cat="merge",
+                    partitions=len(combined),
+                )
             self._split_oversized(touched, logs, epochs)
             # One manifest per completed wave: everything merged above is
             # flushed durable first, so a crash from here on resumes at

@@ -315,6 +315,15 @@ class ShmHub:
         if entry is not None:
             self._unlink(entry[1])
 
+    def mapped_bytes(self) -> int:
+        """Total bytes of live published segments (partition columns plus
+        the shared encoding-table stream) -- the hub's /dev/shm footprint,
+        polled by the resource sampler."""
+        total = sum(seg.size for _, seg in self._parts.values())
+        if self._table_seg is not None:
+            total += self._table_seg.size
+        return total
+
     @staticmethod
     def _unlink(seg) -> None:
         try:

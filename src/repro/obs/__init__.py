@@ -17,7 +17,20 @@ Three layers, all zero-cost when disabled:
   (``repro check --metrics-json``), validators for report and trace
   files (``python -m repro.obs validate``), and the stderr progress
   :class:`Heartbeat`.
+
+Two analysis layers sit on top (PR 8):
+
+* :mod:`repro.obs.profile` -- the :class:`ResourceSampler` background
+  gauge thread (RSS, /dev/shm bytes, cache occupancy, eligible pairs,
+  GC pauses) whose timeseries ride in the run report's ``telemetry``
+  section under ``repro check --profile``;
+* :mod:`repro.obs.analyze` -- the critical-path analyzer
+  (``python -m repro.obs analyze``): per-stage wall attribution,
+  serialized fraction, steal-idle histograms, and an Amdahl-style
+  speedup projection, emitted as a ``grapple/bottleneck-report``.
 """
+
+from repro.obs.analyze import analyze, analyze_report, analyze_trace, format_bottleneck
 
 from repro.obs.metrics import (
     Counter,
@@ -32,9 +45,15 @@ from repro.obs.report import (
     validate_run_report,
     validate_trace,
 )
+from repro.obs.profile import ResourceSampler
 from repro.obs.trace import NULL_RECORDER, NullRecorder, TraceRecorder
 
 __all__ = [
+    "analyze",
+    "analyze_report",
+    "analyze_trace",
+    "format_bottleneck",
+    "ResourceSampler",
     "Counter",
     "Gauge",
     "Histogram",

@@ -1,9 +1,12 @@
-"""``python -m repro.obs validate`` -- check exported artifacts.
+"""``python -m repro.obs`` -- validate and analyze exported artifacts.
 
-Validates a Chrome trace (``--trace``) and/or a run report
+``validate`` checks a Chrome trace (``--trace``) and/or a run report
 (``--metrics``) against the schemas in :mod:`repro.obs.report`; CI runs
-this over the files produced by the bench smoke job.  Exits 1 when any
-file fails validation.
+this over the files produced by the bench smoke job.  ``analyze`` runs
+the critical-path analyzer (:mod:`repro.obs.analyze`) over a trace
+(plus, optionally, its run report) and emits the bottleneck report --
+human-readable to stdout, machine-readable JSON with ``--output``.
+Exits 1 when any file fails validation or cannot be parsed.
 """
 
 from __future__ import annotations
@@ -12,6 +15,7 @@ import argparse
 import json
 import sys
 
+from repro.obs.analyze import analyze, format_bottleneck
 from repro.obs.report import trace_coverage, validate_run_report, validate_trace
 
 
@@ -23,21 +27,22 @@ def _load(path: str):
         return json.load(f)
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(prog="python -m repro.obs")
-    sub = parser.add_subparsers(dest="command", required=True)
-    val = sub.add_parser("validate", help="validate trace/report files")
-    val.add_argument("--trace", help="Chrome trace JSON (or JSONL) to validate")
-    val.add_argument("--metrics", help="run-report JSON to validate")
-    args = parser.parse_args(argv)
+def _load_checked(path: str):
+    """(document, error) -- a truncated or unreadable file is a finding
+    to report, not a traceback."""
+    try:
+        return _load(path), None
+    except json.JSONDecodeError as exc:
+        return None, f"not valid JSON (truncated?): {exc}"
+    except OSError as exc:
+        return None, str(exc)
 
-    if not args.trace and not args.metrics:
-        parser.error("give --trace and/or --metrics")
 
+def _cmd_validate(args) -> int:
     failed = False
     if args.trace:
-        trace = _load(args.trace)
-        errors = validate_trace(trace)
+        trace, load_error = _load_checked(args.trace)
+        errors = [load_error] if load_error else validate_trace(trace)
         if errors:
             failed = True
             print(f"{args.trace}: INVALID")
@@ -51,8 +56,8 @@ def main(argv=None) -> int:
                 f" kinds: {', '.join(cov['known_spans_covered'])}"
             )
     if args.metrics:
-        report = _load(args.metrics)
-        errors = validate_run_report(report)
+        report, load_error = _load_checked(args.metrics)
+        errors = [load_error] if load_error else validate_run_report(report)
         if errors:
             failed = True
             print(f"{args.metrics}: INVALID")
@@ -60,12 +65,94 @@ def main(argv=None) -> int:
                 print(f"  - {error}")
         else:
             n_hist = len(report.get("histograms", {}))
-            print(
+            line = (
                 f"{args.metrics}: ok -- {len(report.get('counters', {}))}"
                 f" counters, {n_hist} histograms"
             )
+            telemetry = report.get("telemetry")
+            if telemetry is not None:
+                line += f", {telemetry.get('samples', 0)} telemetry samples"
+            print(line)
     return 1 if failed else 0
 
 
+def _cmd_analyze(args) -> int:
+    trace = report = None
+    if args.trace:
+        trace, load_error = _load_checked(args.trace)
+        if load_error:
+            print(f"{args.trace}: INVALID\n  - {load_error}")
+            return 1
+        errors = validate_trace(trace)
+        if errors:
+            print(f"{args.trace}: INVALID")
+            for error in errors:
+                print(f"  - {error}")
+            return 1
+    if args.metrics:
+        report, load_error = _load_checked(args.metrics)
+        if load_error:
+            print(f"{args.metrics}: INVALID\n  - {load_error}")
+            return 1
+        errors = validate_run_report(report)
+        if errors:
+            print(f"{args.metrics}: INVALID")
+            for error in errors:
+                print(f"  - {error}")
+            return 1
+    try:
+        doc = analyze(trace, report, top_n=args.top)
+    except ValueError as exc:
+        print(f"analyze: {exc}", file=sys.stderr)
+        return 1
+    if args.output:
+        with open(args.output, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        print(f"bottleneck report -> {args.output}", file=sys.stderr)
+    print(format_bottleneck(doc))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.obs")
+    sub = parser.add_subparsers(dest="command", required=True)
+    val = sub.add_parser("validate", help="validate trace/report files")
+    val.add_argument("--trace", help="Chrome trace JSON (or JSONL) to validate")
+    val.add_argument("--metrics", help="run-report JSON to validate")
+    ana = sub.add_parser(
+        "analyze",
+        help="critical-path bottleneck report from a trace (and run report)",
+    )
+    ana.add_argument("--trace", help="Chrome trace JSON (or JSONL) to analyze")
+    ana.add_argument(
+        "--metrics",
+        help="run-report JSON; with no --trace, a counter-derived"
+        " report-only analysis",
+    )
+    ana.add_argument(
+        "-o", "--output", metavar="FILE",
+        help="also write the bottleneck report as JSON",
+    )
+    ana.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="critical-path segments to keep (default 10)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.trace and not args.metrics:
+        parser.error("give --trace and/or --metrics")
+    if args.command == "validate":
+        return _cmd_validate(args)
+    return _cmd_analyze(args)
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. `... | head`); not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

@@ -16,7 +16,10 @@ import sys
 import time
 
 REPORT_SCHEMA = "grapple/run-report"
-REPORT_VERSION = 1
+#: Version 2 added the optional ``telemetry`` section (the resource
+#: sampler's gauge timeseries, ``repro.obs.profile``); version-1 readers
+#: that ignore unknown sections still parse a v2 document.
+REPORT_VERSION = 2
 
 #: Span names a full engine trace is expected to draw from (validation
 #: reports which of these a trace actually covers; serial runs have no
@@ -25,15 +28,23 @@ KNOWN_SPANS = (
     "closure", "iteration", "wave", "pair-compute",
     "prefetch", "spill", "repartition", "smt-solve",
     "sa-fold", "sa-dse", "sa-relevance", "sa-compress",
-    "checkpoint", "retry",
+    "checkpoint", "retry", "absorb", "spill-merge",
 )
 
 _TIMING_KEYS = ("preprocess_s", "computation_s", "total_s")
 _BREAKDOWN_KEYS = ("io", "encode", "smt", "compute")
 
 
-def build_run_report(run, subject: str | None = None) -> dict:
-    """Structured report for one :class:`~repro.analysis.pipeline.GrappleRun`."""
+def build_run_report(
+    run, subject: str | None = None, telemetry: dict | None = None
+) -> dict:
+    """Structured report for one :class:`~repro.analysis.pipeline.GrappleRun`.
+
+    ``telemetry`` is the sampler's :meth:`timeseries
+    <repro.obs.profile.ResourceSampler.timeseries>` document; profiling
+    off means no sampler, no argument, and no ``telemetry`` key -- the
+    report is byte-compatible with what version 1 produced.
+    """
     stats = run.stats
     snapshot = stats.registry_view().snapshot()
     report = {
@@ -67,6 +78,8 @@ def build_run_report(run, subject: str | None = None) -> dict:
         report["reduction"] = reduction.as_dict()
     if subject is not None:
         report["subject"] = subject
+    if telemetry is not None:
+        report["telemetry"] = telemetry
     return report
 
 
@@ -82,8 +95,14 @@ def validate_run_report(report) -> list[str]:
         errors.append(
             f"schema is {report.get('schema')!r}, expected {REPORT_SCHEMA!r}"
         )
-    if not isinstance(report.get("version"), int):
+    version = report.get("version")
+    if not isinstance(version, int):
         errors.append("version is not an integer")
+    elif not 1 <= version <= REPORT_VERSION:
+        errors.append(
+            f"version {version} is not supported"
+            f" (this reader knows 1..{REPORT_VERSION})"
+        )
     timing = report.get("timing")
     if not isinstance(timing, dict):
         errors.append("timing section missing")
@@ -122,6 +141,43 @@ def validate_run_report(report) -> list[str]:
             for name, value in reduction.items():
                 if not isinstance(value, int):
                     errors.append(f"reduction.{name} is not an integer")
+    telemetry = report.get("telemetry")
+    if telemetry is not None:  # optional: present when --profile was on
+        errors.extend(_validate_telemetry(telemetry))
+    return errors
+
+
+def _validate_telemetry(telemetry) -> list[str]:
+    """Schema errors in a run report's ``telemetry`` section."""
+    if not isinstance(telemetry, dict):
+        return ["telemetry section is not an object"]
+    errors: list[str] = []
+    if not isinstance(telemetry.get("interval_s"), (int, float)):
+        errors.append("telemetry.interval_s is not a number")
+    if not isinstance(telemetry.get("samples"), int):
+        errors.append("telemetry.samples is not an integer")
+    sections = {"coordinator": telemetry.get("coordinator")}
+    workers = telemetry.get("workers", {})
+    if not isinstance(workers, dict):
+        errors.append("telemetry.workers is not an object")
+        workers = {}
+    for pid, series in workers.items():
+        sections[f"workers.{pid}"] = series
+    for where, series in sections.items():
+        if not isinstance(series, dict):
+            errors.append(f"telemetry.{where} is not an object")
+            continue
+        t_s = series.get("t_s")
+        gauges = series.get("series")
+        if not isinstance(t_s, list) or not isinstance(gauges, dict):
+            errors.append(f"telemetry.{where}: t_s/series missing")
+            continue
+        for name, column in gauges.items():
+            if not isinstance(column, list) or len(column) != len(t_s):
+                errors.append(
+                    f"telemetry.{where}.series.{name}: column does not"
+                    f" align with t_s ({len(t_s)} timestamps)"
+                )
     return errors
 
 
@@ -204,6 +260,15 @@ def trace_coverage(trace) -> dict:
 # -- progress heartbeat --------------------------------------------------------
 
 
+def _format_bytes(count: int) -> str:
+    """Compact byte count for the heartbeat line (``3.2MB``, ``418KB``)."""
+    if count >= 1 << 20:
+        return f"{count / (1 << 20):.1f}MB"
+    if count >= 1 << 10:
+        return f"{count / (1 << 10):.0f}KB"
+    return f"{count}B"
+
+
 class Heartbeat:
     """Periodic one-line progress report on stderr.
 
@@ -230,11 +295,26 @@ class Heartbeat:
         done = stats.pairs_processed
         edges = store.total_edges()
         occupancy = store.cache_occupancy()
-        print(
+        line = (
             f"[grapple +{now - self._started:6.1f}s] pairs {done} done"
             f" / {eligible} eligible · edges {edges}"
             f" · budget {occupancy:.0%} resident"
-            f" · waves {stats.waves} · solves {stats.constraints_solved}",
+            f" · waves {stats.waves} · solves {stats.constraints_solved}"
+        )
+        if stats.waves:
+            # Parallel run: append data-plane health (steals, mapped shm
+            # bytes, pool busy fraction) so a long run shows whether the
+            # workers are actually fed.  Serial lines are unchanged.
+            busy = stats.worker_busy_s
+            idle = stats.worker_idle_s
+            line += (
+                f" · stolen {stats.pairs_stolen}"
+                f" · shm {_format_bytes(stats.shm_bytes_mapped)}"
+            )
+            if busy + idle > 0:
+                line += f" · busy {busy / (busy + idle):.0%}"
+        print(
+            line,
             file=self.stream if self.stream is not None else sys.stderr,
             flush=True,
         )

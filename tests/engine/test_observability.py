@@ -361,3 +361,38 @@ def test_heartbeat_is_interval_gated():
     assert "pairs 3 done / 7 eligible" in line
     assert "edges 42" in line
     assert "budget 50% resident" in line
+
+
+def test_heartbeat_parallel_suffix_reports_data_plane():
+    class _Store:
+        def total_edges(self):
+            return 42
+
+        def cache_occupancy(self):
+            return 0.5
+
+    class _Scheduler:
+        def eligible_count(self):
+            return 7
+
+    def beat(stats):
+        out = io.StringIO()
+        hb = Heartbeat(0.0, stream=out, clock=lambda: 1.0)
+        assert hb.maybe_beat(stats, _Store(), _Scheduler())
+        return out.getvalue()
+
+    serial = beat(EngineStats(pairs_processed=3))
+    assert "stolen" not in serial and "shm" not in serial
+
+    line = beat(EngineStats(
+        pairs_processed=3, waves=2, pairs_stolen=5,
+        shm_bytes_mapped=3 << 20, worker_busy_s=6.0, worker_idle_s=2.0,
+    ))
+    assert "stolen 5" in line
+    assert "shm 3.0MB" in line
+    assert "busy 75%" in line
+
+    # No busy/idle accounting yet: the ratio is omitted, not 0/0.
+    early = beat(EngineStats(pairs_processed=3, waves=1))
+    assert "stolen 0" in early
+    assert "busy" not in early
