@@ -11,6 +11,10 @@ per-kind rules tuned for what each metric means:
 
 * ``warnings`` counts gate **exactly**: the checkers are deterministic,
   so any drift is a correctness regression, not noise.
+* ``reduction.*`` and ``scopes.*`` counters (branches folded, dead
+  stores removed, ``scope_resolutions``, ``unresolved_refs``, ...) gate
+  **exactly** for the same reason: the sa passes and the scope-graph
+  resolver are deterministic functions of the subject.
 * keys ending ``_s`` (seconds) gate **lower-is-better**: a regression is
   ``fresh > base * (1 + threshold)`` AND ``fresh - base > abs-floor``
   (the absolute floor keeps millisecond-scale metrics from tripping on
@@ -58,6 +62,13 @@ def _threshold_for(path: str, default: float, overrides: list) -> float:
     return default
 
 
+def _deterministic_section(path: str) -> bool:
+    """Whether a path lives in an exactly-gated deterministic section
+    (sa reduction counters, scope-graph resolution counters)."""
+    parts = path.split(".")
+    return "reduction" in parts or "scopes" in parts
+
+
 def compare(
     fresh: dict,
     baseline: dict,
@@ -75,7 +86,8 @@ def compare(
     for path in sorted(base_leaves):
         base = base_leaves[path]
         key = path.rsplit(".", 1)[-1]
-        gated = key == "warnings" or key.endswith("_s") or "speedup" in path
+        exact = key == "warnings" or _deterministic_section(path)
+        gated = exact or key.endswith("_s") or "speedup" in path
         if path not in fresh_leaves:
             (regressions if gated else notes).append(
                 f"{path}: missing from fresh results (baseline {base!r})"
@@ -92,11 +104,15 @@ def compare(
             if new != base:
                 notes.append(f"{path}: {base!r} -> {new!r}")
             continue
-        if key == "warnings":
+        if exact:
             if new != base:
+                what = (
+                    "deterministic warning count" if key == "warnings"
+                    else "deterministic counter"
+                )
                 regressions.append(
-                    f"{path}: warning count changed {base} -> {new}"
-                    " (checker output must be deterministic)"
+                    f"{path}: {what} changed {base} -> {new}"
+                    " (must be identical run to run)"
                 )
             continue
         if not isinstance(base, (int, float)) or not isinstance(new, (int, float)):

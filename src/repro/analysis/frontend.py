@@ -29,18 +29,29 @@ class CompiledProgram:
     forest: CloneForest
     loc: int
     frontend_time: float
+    #: Scope-graph resolution record for multi-file subjects
+    #: (:class:`repro.sa.scopes.Resolution`); None for single-source runs.
+    resolution: object = None
 
 
 def compile_source(
-    source: str,
+    source,
     unroll: int = 2,
     max_clone_depth: int = 24,
     max_clones: int = 500_000,
     reduce: bool = False,
     reduction=None,
     trace=None,
+    scope_cache=None,
 ) -> CompiledProgram:
     """Parse, lower, and index a subject program.
+
+    ``source`` is either a single source string (legacy single-file
+    path: no scope resolution, byte-identical behaviour) or a multi-file
+    mapping ``{path: text}`` / list of ``(path, text)`` pairs, which is
+    routed through scope-graph name resolution and linking
+    (:mod:`repro.sa.scopes`; ``scope_cache`` optionally persists the
+    per-file artifacts).
 
     With ``reduce`` on, the :mod:`repro.sa` AST reductions run between
     exception lowering and CFET construction: constant branches are
@@ -50,7 +61,23 @@ def compile_source(
     ``trace`` (a :class:`repro.obs.trace.TraceRecorder`) the pass spans.
     """
     start = time.perf_counter()
-    program = parse_program(source)
+    resolution = None
+    if isinstance(source, str):
+        program = parse_program(source)
+        source_text = source
+    else:
+        from repro.sa.scopes import load_modules
+
+        tick = trace.begin() if trace is not None else 0.0
+        loaded = load_modules(source, cache=scope_cache)
+        if trace is not None:
+            trace.end("sa-scopes", tick, cat="sa")
+        program = loaded.program
+        resolution = loaded.resolution
+        texts = source.values() if isinstance(source, dict) else (
+            text for _, text in source
+        )
+        source_text = "\n".join(texts)
     normalize_calls(program)
     unroll_loops(program, unroll)
     lower_exceptions(program)
@@ -81,7 +108,7 @@ def compile_source(
         program, icfet, callgraph,
         max_depth=max_clone_depth, max_clones=max_clones,
     )
-    loc = sum(1 for line in source.splitlines() if line.strip())
+    loc = sum(1 for line in source_text.splitlines() if line.strip())
     return CompiledProgram(
         program=program,
         icfet=icfet,
@@ -90,4 +117,5 @@ def compile_source(
         forest=forest,
         loc=loc,
         frontend_time=time.perf_counter() - start,
+        resolution=resolution,
     )

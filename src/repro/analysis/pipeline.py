@@ -77,11 +77,18 @@ class GrappleRun:
 
 
 class Grapple:
-    """Facade: check finite-state properties of one subject program."""
+    """Facade: check finite-state properties of one subject program.
+
+    ``source`` is a single source string or a multi-file mapping
+    ``{path: text}`` (or ``(path, text)`` pairs); multi-file subjects go
+    through scope-graph name resolution (:mod:`repro.sa.scopes`) before
+    the phases run, and the resolution record rides on
+    ``run.compiled.resolution``.
+    """
 
     def __init__(
         self,
-        source: str,
+        source,
         fsms: list[FSM],
         options: GrappleOptions | None = None,
     ):

@@ -8,15 +8,31 @@ from repro.checkers.exception_checker import exception_checker
 from repro.checkers.fsm import FSM
 from repro.checkers.io_checker import io_checker
 from repro.checkers.lock_checker import lock_checker
+from repro.checkers.lockdep_checker import lockdep_checker
+from repro.checkers.order_checker import iterator_checker, order_checker
 from repro.checkers.report import Report
 from repro.checkers.socket_checker import socket_checker
+from repro.checkers.taint_checker import taint_checker
 
+#: Every registered checker.  The first four are the paper's originals
+#: and remain the default set (:func:`default_checkers`); the rest are
+#: the interprocedural property packs (taint, API ordering, lock
+#: discipline) that ship with cross-file scope resolution.
 ALL_CHECKERS = {
     "io": io_checker,
     "lock": lock_checker,
     "exception": exception_checker,
     "socket": socket_checker,
+    "taint": taint_checker,
+    "order": order_checker,
+    "iterator": iterator_checker,
+    "lockdep": lockdep_checker,
 }
+
+#: The paper's original four checker names (the default set).
+PAPER_CHECKERS = ("io", "lock", "exception", "socket")
+#: The property-pack checker names added with multi-file support.
+PACK_CHECKERS = ("taint", "order", "iterator", "lockdep")
 
 
 @dataclass
@@ -40,7 +56,12 @@ class Checker:
 
 def default_checkers() -> list[Checker]:
     """The paper's four checkers: I/O, lock, exception, socket."""
-    return [Checker.by_name(name) for name in ALL_CHECKERS]
+    return [Checker.by_name(name) for name in PAPER_CHECKERS]
+
+
+def pack_checkers() -> list[Checker]:
+    """The property-pack checkers: taint, order, iterator, lockdep."""
+    return [Checker.by_name(name) for name in PACK_CHECKERS]
 
 
 def run_checker(source: str, checkers=None, options=None) -> Report:

@@ -53,8 +53,12 @@ class Diagnostic:
 
     ``kind`` is a stable machine-readable category
     (``use-before-init``, ``unreachable-code``, ``constant-branch``,
-    ``escape-without-close``); ``subject`` names the variable or
-    condition concerned.
+    ``escape-without-close``, ``dead-store``, ``shadowed-variable``,
+    ``unresolved-name``, ``ambiguous-import``, ``tainted-sink``,
+    ``lock-order``); ``subject`` names the variable, symbol or
+    condition concerned.  ``file`` is the source file for multi-file
+    runs ("" for single-source linting, which keeps the legacy output
+    format byte-identical).
     """
 
     kind: str
@@ -62,12 +66,20 @@ class Diagnostic:
     line: int
     subject: str
     message: str
+    file: str = ""
 
     def describe(self) -> str:
-        return f"line {self.line}: [{self.kind}] {self.func}: {self.message}"
+        where = f"{self.file}:{self.line}" if self.file else f"line {self.line}"
+        return f"{where}: [{self.kind}] {self.func}: {self.message}"
 
     def sort_key(self) -> tuple:
-        return (self.func, self.line, self.kind, self.subject, self.message)
+        """Deterministic output order: (file, line, kind, symbol, ...).
+
+        Keyed on position before provenance so multi-file ``--lint``
+        output is byte-stable regardless of file discovery order.
+        """
+        return (self.file, self.line, self.kind, self.subject, self.func,
+                self.message)
 
 
 @dataclass

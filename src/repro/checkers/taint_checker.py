@@ -1,0 +1,46 @@
+"""Taint property pack: source -> (sanitizer?) -> sink as an FSM.
+
+A tracked object allocated from a taint-source type (``UserInput``,
+``NetPacket``, ``EnvVar``) starts ``Tainted``.  Passing it to a sink
+(``exec``, ``query``, ``send_raw`` -- modelled as methods on the tracked
+object) while still ``Tainted`` is an error transition; a ``sanitize``
+or ``validate`` event moves it to ``Clean``, after which sinks are fine.
+Re-reading fresh data (``refill``) re-taints a cleaned object.
+
+Unlike the resource checkers there is no at-exit obligation: dropping a
+tainted value on the floor is harmless, so every non-error state
+accepts.  The interesting bugs are interprocedural -- the source is
+allocated in one module, sanitized (or not) in another, and sunk in a
+third -- which is exactly what the cross-file scope resolution plus
+context-sensitive cloning make checkable.
+"""
+
+from repro.checkers.fsm import FSM, make_fsm
+
+TAINT_TYPES = ("UserInput", "NetPacket", "EnvVar")
+
+#: Events that consume the value in a dangerous position.
+SINK_EVENTS = ("exec", "query", "send_raw")
+#: Events that neutralise the taint.
+SANITIZE_EVENTS = ("sanitize", "validate")
+
+
+def taint_checker() -> FSM:
+    """The taint-flow FSM (tainted data must be sanitized before sinks)."""
+    transitions = {}
+    for sanitize in SANITIZE_EVENTS:
+        transitions[("Tainted", sanitize)] = "Clean"
+        transitions[("Clean", sanitize)] = "Clean"
+    for sink in SINK_EVENTS:
+        transitions[("Tainted", sink)] = "Error"
+        transitions[("Clean", sink)] = "Clean"
+    transitions[("Clean", "refill")] = "Tainted"
+    transitions[("Tainted", "refill")] = "Tainted"
+    return make_fsm(
+        name="taint",
+        types=TAINT_TYPES,
+        initial="Tainted",
+        transitions=transitions,
+        accepting={"Tainted", "Clean"},
+        error_states={"Error"},
+    )

@@ -2,20 +2,25 @@
 
 Subcommands:
 
-* ``check FILE [--checkers io,lock,exception,socket] [--unroll K]`` --
-  run finite-state property checkers over a mini-language source file;
+* ``check FILE... [--checkers io,lock,exception,socket] [--unroll K]``
+  -- run finite-state property checkers over one or more mini-language
+  source files (or a directory of ``.mini`` files); multiple files are
+  linked through scope-graph name resolution first;
 * ``subjects`` -- list the built-in synthetic evaluation subjects;
 * ``generate NAME [--scale S] [-o FILE]`` -- emit a synthetic subject's
-  source (and its ground-truth seed list to stderr).
+  source (and its ground-truth seed list to stderr); multi-file
+  subjects (``gateway``) write one ``.mini`` per module when ``-o``
+  names a directory.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro import EngineOptions, Grapple, GrappleOptions
-from repro.checkers.checker import ALL_CHECKERS, Checker
+from repro.checkers.checker import ALL_CHECKERS, PAPER_CHECKERS, Checker
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -27,12 +32,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    check = sub.add_parser("check", help="check a source file")
-    check.add_argument("file", help="mini-language source file")
+    check = sub.add_parser("check", help="check one or more source files")
+    check.add_argument("file", nargs="+",
+                       help="mini-language source file(s), or one directory"
+                       " of .mini files; multiple files are linked via"
+                       " scope-graph name resolution")
     check.add_argument(
         "--checkers",
-        default=",".join(ALL_CHECKERS),
-        help="comma-separated checker names (default: all four)",
+        default=",".join(PAPER_CHECKERS),
+        help="comma-separated checker names (default: the paper's four,"
+        f" {','.join(PAPER_CHECKERS)}; also available:"
+        f" {','.join(n for n in ALL_CHECKERS if n not in PAPER_CHECKERS)})",
     )
     check.add_argument(
         "--spec",
@@ -52,8 +62,11 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--lint", action="store_true",
                        help="also run the mini-language linter and print"
                        " its diagnostics to stderr (use-before-init,"
-                       " unreachable code, constant branches, tracked"
-                       " objects escaping without a close)")
+                       " unreachable code, constant branches, dead"
+                       " stores, shadowed variables, tainted sinks,"
+                       " lock-order violations, tracked objects escaping"
+                       " without a close; multi-file runs add"
+                       " unresolved-name and ambiguous-import)")
     check.add_argument("--memory-budget", type=float, default=64,
                        help="engine memory budget in MiB; fractions allowed"
                        " (default 64)")
@@ -150,10 +163,44 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _gather_sources(file_args: list[str]):
+    """Resolve the ``check`` positionals to a source payload.
+
+    One regular file keeps the legacy single-source path (a plain
+    string, no scope resolution); a directory expands to its sorted
+    ``.mini`` files, and several files load as a ``{path: text}``
+    mapping routed through scope-graph resolution.
+    """
+    paths: list[str] = []
+    for entry in file_args:
+        if os.path.isdir(entry):
+            paths.extend(
+                sorted(
+                    os.path.join(entry, name)
+                    for name in os.listdir(entry)
+                    if name.endswith(".mini")
+                )
+            )
+        else:
+            paths.append(entry)
+    if not paths:
+        raise FileNotFoundError(
+            f"no .mini files found in {', '.join(file_args)}"
+        )
+    if len(paths) == 1 and len(file_args) == 1 \
+            and not os.path.isdir(file_args[0]):
+        with open(paths[0]) as f:
+            return paths[0], f.read()
+    sources = {}
+    for path in paths:
+        with open(path) as f:
+            sources[path] = f.read()
+    return ";".join(paths), sources
+
+
 def cmd_check(args) -> int:
     """``repro check``: exit 1 when warnings are found, else 0."""
-    with open(args.file) as f:
-        source = f.read()
+    subject_name, source = _gather_sources(args.file)
     if args.spec:
         from repro.checkers.spec import load_fsm_specs
 
@@ -228,11 +275,15 @@ def cmd_check(args) -> int:
         ),
     )
     if args.lint:
-        from repro.sa.lint import run_lint
+        from repro.sa.lint import run_lint, run_lint_files
 
-        lint_report = run_lint(
-            source, fsms=[c.fsm for c in checkers], unroll=args.unroll
-        )
+        fsms = [c.fsm for c in checkers]
+        if isinstance(source, str):
+            lint_report = run_lint(source, fsms=fsms, unroll=args.unroll)
+        else:
+            lint_report = run_lint_files(
+                source, fsms=fsms, unroll=args.unroll
+            )
         print(lint_report.summary(), file=sys.stderr)
     from repro.engine.checkpoint import CheckpointMismatch
 
@@ -255,7 +306,7 @@ def cmd_check(args) -> int:
         import json
 
         report = run.run_report(
-            subject=args.file,
+            subject=subject_name,
             telemetry=sampler.timeseries() if sampler is not None else None,
         )
         with open(args.metrics_json, "w") as f:
@@ -286,12 +337,19 @@ def cmd_check(args) -> int:
                   f" ({stats.group_hits} group hits)")
         if run.reduction is not None:
             print(f"reduction           : {run.reduction.summary()}")
+        if run.compiled.resolution is not None:
+            scopes = run.compiled.resolution.stats
+            print(f"scope resolution    : {scopes.scope_resolutions}"
+                  f" resolved across {scopes.files} files"
+                  f" ({scopes.unresolved_refs} extern/unresolved,"
+                  f" {scopes.ambiguous_refs} ambiguous)")
         print(f"total time          : {run.total_time:.2f}s")
     return 1 if run.report.warnings else 0
 
 
 def cmd_subjects(_args) -> int:
     """``repro subjects``: list the built-in synthetic subjects."""
+    from repro.workloads.multifile import MULTIFILE_PROFILES
     from repro.workloads.subjects import SUBJECT_PROFILES
 
     print(f"{'name':<12}{'version':<9}{'target LoC':>11}  description")
@@ -300,12 +358,46 @@ def cmd_subjects(_args) -> int:
             f"{name:<12}{profile.version:<9}{profile.target_loc:>11}"
             f"  {profile.description}"
         )
+    for name, mf_profile in MULTIFILE_PROFILES.items():
+        print(
+            f"{name:<12}{'multi':<9}{mf_profile.target_loc:>11}"
+            f"  {mf_profile.description}"
+        )
     return 0
+
+
+def _seed_summary(seeds) -> str:
+    tp = sum(1 for s in seeds if s.expectation == "tp")
+    fp = sum(1 for s in seeds if s.expectation == "fp")
+    return f"seeded: {len(seeds)} patterns ({tp} TP, {fp} FP)"
 
 
 def cmd_generate(args) -> int:
     """``repro generate``: emit a synthetic subject's source."""
     from repro.workloads import build_subject
+    from repro.workloads.multifile import (
+        MULTIFILE_PROFILES,
+        build_multifile_subject,
+    )
+
+    if args.name in MULTIFILE_PROFILES:
+        subject = build_multifile_subject(args.name)
+        if args.output:
+            os.makedirs(args.output, exist_ok=True)
+            for path in sorted(subject.sources):
+                with open(os.path.join(args.output, path), "w") as f:
+                    f.write(subject.sources[path])
+            print(
+                f"wrote {subject.loc} lines across"
+                f" {len(subject.sources)} files to {args.output}/",
+                file=sys.stderr,
+            )
+        else:
+            for path in sorted(subject.sources):
+                print(f"// ---- {path} ----")
+                print(subject.sources[path])
+        print(_seed_summary(subject.seeds), file=sys.stderr)
+        return 0
 
     subject = build_subject(args.name, scale=args.scale)
     if args.output:
@@ -314,12 +406,7 @@ def cmd_generate(args) -> int:
         print(f"wrote {subject.loc} lines to {args.output}", file=sys.stderr)
     else:
         print(subject.source)
-    print(
-        f"seeded: {len(subject.seeds)} patterns"
-        f" ({sum(1 for s in subject.seeds if s.expectation == 'tp')} TP,"
-        f" {sum(1 for s in subject.seeds if s.expectation == 'fp')} FP)",
-        file=sys.stderr,
-    )
+    print(_seed_summary(subject.seeds), file=sys.stderr)
     return 0
 
 

@@ -102,11 +102,12 @@ Expr = (IntLit, BoolLit, NullLit, VarRef, FieldLoad, New, Call, Input, Binary, U
 
 @dataclass(slots=True)
 class Assign:
-    """``x = <expr>`` or ``var x = <expr>``."""
+    """``x = <expr>`` or ``var x = <expr>`` (``decl`` marks the latter)."""
 
     target: str
     value: object
     line: int = 0
+    decl: bool = False
 
 
 @dataclass(slots=True)
@@ -197,6 +198,34 @@ class Function:
 
     def __repr__(self) -> str:
         return f"Function({self.name}/{len(self.params)})"
+
+
+@dataclass(frozen=True, slots=True)
+class ImportDecl:
+    """``import mod;`` (symbol None) or ``import mod.sym;``."""
+
+    module: str
+    symbol: str | None
+    line: int
+
+
+@dataclass(slots=True)
+class ModuleFile:
+    """One parsed source file of a multi-file program.
+
+    ``module`` is the declared module name (``module m;``) or ``""`` for
+    a header-less file, whose symbols stay unqualified -- exactly the
+    single-file namespace, so legacy programs resolve byte-identically.
+    ``next_site`` is the first unused allocation/call/input site id after
+    this file (the loader threads it through files in canonical module
+    order so site ids stay unique and deterministic program-wide).
+    """
+
+    module: str
+    path: str
+    imports: list[ImportDecl] = field(default_factory=list)
+    functions: dict[str, Function] = field(default_factory=dict)
+    next_site: int = 0
 
 
 @dataclass(slots=True)

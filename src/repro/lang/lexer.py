@@ -6,6 +6,8 @@ from dataclasses import dataclass
 
 KEYWORDS = {
     "func",
+    "module",
+    "import",
     "var",
     "if",
     "else",

@@ -2,6 +2,9 @@
 
 Grammar (lowered later by :mod:`repro.lang.transform`)::
 
+    file      := module? import* function*
+    module    := "module" IDENT ";"
+    import    := "import" IDENT ("." IDENT)? ";"
     program   := function*
     function  := "func" IDENT "(" params? ")" block
     block     := "{" stmt* "}"
@@ -18,6 +21,15 @@ Grammar (lowered later by :mod:`repro.lang.transform`)::
     expr      := disjunction of comparisons over arithmetic; atoms are
                  INT, "true", "false", "null", IDENT, IDENT "." IDENT,
                  "new" IDENT "(" ")", IDENT "(" args ")", "input" "(" ")"
+
+Qualified names: ``alias.sym(...)`` where ``alias`` names an imported
+module parses as a *qualified call* ``Call("alias.sym", ...)`` -- in
+both statement and expression position -- instead of an FSM event or a
+field load.  The disambiguation is purely syntactic (the alias set of
+the file's ``import`` headers); actual name binding is the scope-graph
+resolver's job (:mod:`repro.sa.scopes`).  Files without a ``module``
+header live in the root namespace with unqualified symbols, which keeps
+single-file programs byte-identical under resolution.
 """
 
 from __future__ import annotations
@@ -31,10 +43,13 @@ class ParseError(Exception):
 
 
 class _Parser:
-    def __init__(self, tokens: list[Token]):
+    def __init__(self, tokens: list[Token], site_base: int = 0):
         self.tokens = tokens
         self.pos = 0
-        self.next_site = 0  # allocation-site / input-site counter
+        self.next_site = site_base  # allocation-site / input-site counter
+        #: Module names imported by the current file; ``alias.sym(...)``
+        #: with ``alias`` in this set parses as a qualified call.
+        self.module_aliases: set[str] = set()
 
     # -- token helpers ---------------------------------------------------
 
@@ -68,6 +83,32 @@ class _Parser:
         return site
 
     # -- declarations ------------------------------------------------------
+
+    def parse_module_file(self, path: str = "") -> ast.ModuleFile:
+        """Parse one file: optional module header, imports, functions."""
+        module = ""
+        if self.current.kind == "keyword" and self.current.text == "module":
+            self.advance()
+            module = self.expect("ident").text
+            self.expect(";")
+        imports: list[ast.ImportDecl] = []
+        while self.current.kind == "keyword" and self.current.text == "import":
+            line = self.advance().line
+            target = self.expect("ident").text
+            symbol = None
+            if self.accept("."):
+                symbol = self.expect("ident").text
+            self.expect(";")
+            imports.append(ast.ImportDecl(target, symbol, line))
+            self.module_aliases.add(target)
+        out = ast.ModuleFile(module=module, path=path, imports=imports)
+        while self.current.kind != "eof":
+            fn = self.parse_function()
+            if fn.name in out.functions:
+                raise ParseError(f"line {fn.line}: duplicate function {fn.name!r}")
+            out.functions[fn.name] = fn
+        out.next_site = self.next_site
+        return out
 
     def parse_program(self) -> ast.Program:
         program = ast.Program()
@@ -127,7 +168,7 @@ class _Parser:
         if self.accept("="):
             value = self.parse_expression()
         self.expect(";")
-        return ast.Assign(name, value, line=line)
+        return ast.Assign(name, value, line=line, decl=True)
 
     def _parse_ident_statement(self):
         name_tok = self.advance()
@@ -137,6 +178,11 @@ class _Parser:
             if self.accept("("):
                 args = self._parse_args()
                 self.expect(";")
+                if name in self.module_aliases:
+                    return ast.ExprStmt(
+                        ast.Call(f"{name}.{member}", args, self.fresh_site()),
+                        line=line,
+                    )
                 return ast.Event(name, member, args, line=line)
             self.expect("=")
             value = self.expect("ident").text
@@ -289,6 +335,19 @@ class _Parser:
             if self.accept("("):
                 return ast.Call(tok.text, self._parse_args(), self.fresh_site())
             if self.current.kind == "." and self.tokens[self.pos + 1].kind == "ident":
+                if (
+                    tok.text in self.module_aliases
+                    and self.tokens[self.pos + 2].kind == "("
+                ):
+                    # qualified call: alias.sym(args)
+                    self.advance()
+                    member = self.expect("ident").text
+                    self.expect("(")
+                    return ast.Call(
+                        f"{tok.text}.{member}",
+                        self._parse_args(),
+                        self.fresh_site(),
+                    )
                 # field load: base.field (only in expression position)
                 self.advance()
                 fieldname = self.expect("ident").text
@@ -304,3 +363,33 @@ class _Parser:
 def parse_program(source: str) -> ast.Program:
     """Parse source text into a :class:`repro.lang.ast.Program`."""
     return _Parser(tokenize(source)).parse_program()
+
+
+def parse_module(
+    source: str,
+    path: str = "",
+    site_base: int = 0,
+    tokens: list[Token] | None = None,
+) -> ast.ModuleFile:
+    """Parse one file of a (possibly multi-file) program.
+
+    ``site_base`` offsets the allocation/call/input site counter so the
+    multi-file loader can keep site ids unique program-wide; ``tokens``
+    reuses an existing token stream (the loader tokenizes once to read
+    the module header before parsing in canonical order).
+    """
+    if tokens is None:
+        tokens = tokenize(source)
+    return _Parser(tokens, site_base=site_base).parse_module_file(path)
+
+
+def scan_module_name(tokens: list[Token]) -> str:
+    """The declared module name of a token stream ("" when header-less)."""
+    if (
+        len(tokens) >= 2
+        and tokens[0].kind == "keyword"
+        and tokens[0].text == "module"
+        and tokens[1].kind == "ident"
+    ):
+        return tokens[1].text
+    return ""

@@ -17,8 +17,10 @@ import time
 
 REPORT_SCHEMA = "grapple/run-report"
 #: Version 2 added the optional ``telemetry`` section (the resource
-#: sampler's gauge timeseries, ``repro.obs.profile``); version-1 readers
-#: that ignore unknown sections still parse a v2 document.
+#: sampler's gauge timeseries, ``repro.obs.profile``) and later the
+#: optional ``scopes`` section (scope-graph resolution counters for
+#: multi-file subjects, ``repro.sa.scopes``); version-1 readers that
+#: ignore unknown sections still parse a v2 document.
 REPORT_VERSION = 2
 
 #: Span names a full engine trace is expected to draw from (validation
@@ -27,7 +29,7 @@ REPORT_VERSION = 2
 KNOWN_SPANS = (
     "closure", "iteration", "wave", "pair-compute",
     "prefetch", "spill", "repartition", "smt-solve",
-    "sa-fold", "sa-dse", "sa-relevance", "sa-compress",
+    "sa-fold", "sa-dse", "sa-relevance", "sa-compress", "sa-scopes",
     "checkpoint", "retry", "absorb", "spill-merge",
 )
 
@@ -76,6 +78,9 @@ def build_run_report(
     reduction = getattr(run, "reduction", None)
     if reduction is not None:
         report["reduction"] = reduction.as_dict()
+    resolution = getattr(getattr(run, "compiled", None), "resolution", None)
+    if resolution is not None:
+        report["scopes"] = resolution.stats.as_dict()
     if subject is not None:
         report["subject"] = subject
     if telemetry is not None:
@@ -141,6 +146,14 @@ def validate_run_report(report) -> list[str]:
             for name, value in reduction.items():
                 if not isinstance(value, int):
                     errors.append(f"reduction.{name} is not an integer")
+    scopes = report.get("scopes")
+    if scopes is not None:  # optional: present for multi-file subjects
+        if not isinstance(scopes, dict):
+            errors.append("scopes section is not an object")
+        else:
+            for name, value in scopes.items():
+                if not isinstance(value, int):
+                    errors.append(f"scopes.{name} is not an integer")
     telemetry = report.get("telemetry")
     if telemetry is not None:  # optional: present when --profile was on
         errors.extend(_validate_telemetry(telemetry))

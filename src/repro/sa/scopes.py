@@ -1,0 +1,652 @@
+"""Scope-graph name resolution for multi-file programs (DESIGN.md §15).
+
+Stack-graph style (van Antwerpen et al., PAPERS.md): each file compiles
+*independently* to a small scope graph whose nodes carry push/pop symbol
+discipline, and cross-file name binding is a path search over the union
+of the per-file graphs plus one program root.  Nothing about a file's
+graph depends on any other file, so the per-file artifact is keyed by a
+content digest and can be cached, shipped, and re-resolved incrementally
+-- exactly the shape the planned analysis daemon needs.
+
+Node kinds
+----------
+
+* ``scope`` -- a lexical region: the program root, one exports scope and
+  one lookup scope per file.  Traversal passes through unchanged.
+* ``push`` -- pushes its symbol onto the resolution stack (references
+  and import re-routing).
+* ``pop`` -- pops its symbol; traversal continues only when the symbol
+  matches the top of the stack.  A ``pop`` node carrying a definition
+  payload *resolves* the reference when the stack empties there.
+* ``ref`` -- the root of one reference's search.
+
+Wiring per file (module ``m``, path ``p``):
+
+* every top-level ``func f`` becomes a ``pop f`` definition node hanging
+  off the file's *exports* scope;
+* the exports scope hangs off the program root behind ``pop m`` (so a
+  qualified reference must first pop the module name), or directly for
+  the root namespace (files without a ``module`` header);
+* a bare reference ``g(...)`` pushes ``g`` and searches the file's
+  *lookup* scope: local exports first, then each ``import a.g;`` which
+  re-routes through ``pop g -> push a -> push g -> program root``;
+* a qualified reference ``a.f(...)`` pushes ``f`` then ``a`` and
+  searches the program root directly (gated on ``import a;`` -- the
+  parser only produces qualified calls for imported aliases).
+
+Resolution rules
+----------------
+
+Deterministic by construction: candidate definitions are collected by a
+breadth-first search with sorted tie-breaks, so the outcome never
+depends on dict order or file discovery order.
+
+* 0 candidates: the reference is *extern* (single-file semantics keep
+  unknown bare callees as opaque extern calls; only *qualified*
+  references and import declarations earn an ``unresolved-name``
+  diagnostic, because those name a module explicitly).
+* 1 candidate: resolved; the linker rewrites the call to the symbol id.
+* >1 candidates: an ``ambiguous-import`` diagnostic; the local
+  definition wins when present, else the lexicographically smallest
+  symbol id, so the pipeline still proceeds deterministically.
+
+Symbol ids are ``m.f`` for module ``m`` ("" for the root namespace,
+whose symbols stay unqualified -- single-file programs link to a
+byte-identical :class:`~repro.lang.ast.Program`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import deque
+from dataclasses import dataclass, field, fields
+
+from repro.checkers.report import Diagnostic
+from repro.lang import ast
+from repro.lang.lexer import tokenize
+from repro.lang.parser import ParseError, parse_module, scan_module_name
+
+ARTIFACT_SCHEMA = "grapple/scope-artifact"
+ARTIFACT_VERSION = 1
+
+KIND_UNRESOLVED = "unresolved-name"
+KIND_AMBIGUOUS_IMPORT = "ambiguous-import"
+
+SCOPE, PUSH, POP, REF = "scope", "push", "pop", "ref"
+
+#: The shared program-root node every file graph composes against.
+PROGRAM_ROOT = ("<program>", "root")
+
+
+def symbol_id(module: str, name: str) -> str:
+    """Global symbol id: ``m.f`` for module ``m``, bare for the root."""
+    return f"{module}.{name}" if module else name
+
+
+def source_digest(text: str) -> str:
+    """Content digest keying a file's scope artifact."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+# -- per-file artifact ---------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class DefRecord:
+    name: str
+    line: int
+    params: int
+
+
+@dataclass(frozen=True, slots=True)
+class ImportRecord:
+    module: str
+    symbol: str | None  # None = whole-module import
+    line: int
+
+
+@dataclass(frozen=True, slots=True)
+class RefRecord:
+    """One distinct callee name referenced by a file.
+
+    ``name`` is ``g`` (bare) or ``a.f`` (qualified); ``func`` and
+    ``line`` locate the first occurrence for diagnostics.
+    """
+
+    name: str
+    func: str
+    line: int
+
+
+@dataclass
+class FileArtifact:
+    """The serialized per-file resolution artifact (digest-keyed)."""
+
+    digest: str
+    path: str
+    module: str
+    defs: list[DefRecord] = field(default_factory=list)
+    imports: list[ImportRecord] = field(default_factory=list)
+    refs: list[RefRecord] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {
+            "schema": ARTIFACT_SCHEMA,
+            "version": ARTIFACT_VERSION,
+            "digest": self.digest,
+            "path": self.path,
+            "module": self.module,
+            "defs": [[d.name, d.line, d.params] for d in self.defs],
+            "imports": [[i.module, i.symbol, i.line] for i in self.imports],
+            "refs": [[r.name, r.func, r.line] for r in self.refs],
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "FileArtifact":
+        if doc.get("schema") != ARTIFACT_SCHEMA:
+            raise ValueError(f"not a scope artifact: {doc.get('schema')!r}")
+        if doc.get("version") != ARTIFACT_VERSION:
+            raise ValueError(f"unsupported artifact version {doc.get('version')!r}")
+        return cls(
+            digest=doc["digest"],
+            path=doc["path"],
+            module=doc["module"],
+            defs=[DefRecord(n, l, p) for n, l, p in doc["defs"]],
+            imports=[ImportRecord(m, s, l) for m, s, l in doc["imports"]],
+            refs=[RefRecord(n, f, l) for n, f, l in doc["refs"]],
+        )
+
+
+def _collect_calls(expr, out: list) -> None:
+    if isinstance(expr, ast.Call):
+        out.append(expr)
+        for arg in expr.args:
+            _collect_calls(arg, out)
+    elif isinstance(expr, ast.Binary):
+        _collect_calls(expr.left, out)
+        _collect_calls(expr.right, out)
+    elif isinstance(expr, ast.Unary):
+        _collect_calls(expr.operand, out)
+
+
+def file_references(mf: ast.ModuleFile) -> list[RefRecord]:
+    """Every distinct callee name in a file, first occurrence wins."""
+    first: dict[str, RefRecord] = {}
+    for fname, fn in mf.functions.items():
+        for stmt in ast.walk_statements(fn.body):
+            calls: list = []
+            for expr in ast.walk_expressions(stmt):
+                _collect_calls(expr, calls)
+            if isinstance(stmt, ast.Event):
+                for arg in stmt.args:
+                    _collect_calls(arg, calls)
+            line = getattr(stmt, "line", 0)
+            for call in calls:
+                if call.func not in first:
+                    first[call.func] = RefRecord(call.func, fname, line)
+    return sorted(first.values(), key=lambda r: (r.name, r.func, r.line))
+
+
+def build_artifact(mf: ast.ModuleFile, digest: str) -> FileArtifact:
+    """Compile one parsed file to its scope artifact."""
+    return FileArtifact(
+        digest=digest,
+        path=mf.path,
+        module=mf.module,
+        defs=sorted(
+            (DefRecord(fn.name, fn.line, len(fn.params))
+             for fn in mf.functions.values()),
+            key=lambda d: (d.name, d.line),
+        ),
+        imports=list(mf.imports and [
+            ImportRecord(i.module, i.symbol, i.line) for i in mf.imports
+        ] or []),
+        refs=file_references(mf),
+    )
+
+
+class ScopeArtifactCache:
+    """Digest-keyed on-disk store of per-file scope artifacts."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, digest: str) -> str:
+        return os.path.join(self.directory, f"{digest}.scope.json")
+
+    def get(self, digest: str) -> FileArtifact | None:
+        try:
+            with open(self._path(digest)) as f:
+                artifact = FileArtifact.from_json(json.load(f))
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return artifact
+
+    def put(self, artifact: FileArtifact) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        path = self._path(artifact.digest)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as f:
+            json.dump(artifact.to_json(), f, sort_keys=True)
+            f.write("\n")
+        os.replace(tmp, path)
+
+
+# -- scope graph ---------------------------------------------------------------
+
+
+@dataclass
+class ScopeGraph:
+    """Push/pop scope graph over one or more file artifacts.
+
+    ``nodes`` maps a node id to ``(kind, symbol, payload)`` where
+    ``symbol`` is the pushed/popped symbol (None for scopes/refs) and
+    ``payload`` is the resolved symbol id for definition ``pop`` nodes.
+    Edges keep insertion order; resolution sorts candidates, so order
+    only affects traversal, never the outcome.
+    """
+
+    nodes: dict = field(default_factory=dict)
+    edges: dict = field(default_factory=dict)
+
+    def add_node(self, node_id, kind, symbol=None, payload=None):
+        self.nodes.setdefault(node_id, (kind, symbol, payload))
+        return node_id
+
+    def add_edge(self, src, dst) -> None:
+        targets = self.edges.setdefault(src, [])
+        if dst not in targets:
+            targets.append(dst)
+
+    def node_count(self, kind: str | None = None) -> int:
+        if kind is None:
+            return len(self.nodes)
+        return sum(1 for k, _, _ in self.nodes.values() if k == kind)
+
+
+def extend_graph(graph: ScopeGraph, artifact: FileArtifact) -> None:
+    """Add one file's nodes and edges to a composed scope graph."""
+    p = artifact.path
+    graph.add_node(PROGRAM_ROOT, SCOPE)
+    exports = graph.add_node((p, "exports"), SCOPE)
+    lookup = graph.add_node((p, "lookup"), SCOPE)
+
+    # Exports hang off the program root, behind ``pop module`` when the
+    # file declares a namespace.
+    if artifact.module:
+        gate = graph.add_node((p, "popmod"), POP, artifact.module)
+        graph.add_edge(PROGRAM_ROOT, gate)
+        graph.add_edge(gate, exports)
+    else:
+        graph.add_edge(PROGRAM_ROOT, exports)
+
+    # Definitions: ``pop f`` nodes carrying the global symbol id.
+    for d in artifact.defs:
+        node = graph.add_node(
+            (p, "def", d.name), POP, d.name,
+            payload=symbol_id(artifact.module, d.name),
+        )
+        graph.add_edge(exports, node)
+
+    # Bare lookup sees local exports first...
+    graph.add_edge(lookup, exports)
+    # ...then each single-symbol import, as the stack-graph re-route
+    # ``pop g -> push g -> push a -> program root`` (restricting the
+    # import to exactly one symbol; the module name ends on top of the
+    # stack because the provider's root gate pops it first).
+    for index, imp in enumerate(artifact.imports):
+        if imp.symbol is None:
+            continue
+        pop_g = graph.add_node((p, "imp", index, "pop"), POP, imp.symbol)
+        push_g = graph.add_node((p, "imp", index, "pushsym"), PUSH, imp.symbol)
+        push_a = graph.add_node((p, "imp", index, "pushmod"), PUSH, imp.module)
+        graph.add_edge(lookup, pop_g)
+        graph.add_edge(pop_g, push_g)
+        graph.add_edge(push_g, push_a)
+        graph.add_edge(push_a, PROGRAM_ROOT)
+
+    # References: bare names search the lookup scope, qualified names
+    # push member-then-module and search the program root.
+    imported_modules = {i.module for i in artifact.imports}
+    for ref in artifact.refs:
+        node = graph.add_node((p, "ref", ref.name), REF)
+        if "." in ref.name:
+            alias, member = ref.name.split(".", 1)
+            if alias not in imported_modules:
+                continue  # dangling qualified ref: no search path at all
+            push_member = graph.add_node(
+                (p, "ref", ref.name, "pushsym"), PUSH, member
+            )
+            push_alias = graph.add_node(
+                (p, "ref", ref.name, "pushmod"), PUSH, alias
+            )
+            graph.add_edge(node, push_member)
+            graph.add_edge(push_member, push_alias)
+            graph.add_edge(push_alias, PROGRAM_ROOT)
+        else:
+            push = graph.add_node((p, "ref", ref.name, "push"), PUSH, ref.name)
+            graph.add_edge(node, push)
+            graph.add_edge(push, lookup)
+
+
+def resolve_node(graph: ScopeGraph, start) -> list[str]:
+    """All definition symbol ids reachable from one node under the
+    push/pop discipline, sorted (deterministic ambiguity reporting)."""
+    results: set[str] = set()
+    queue = deque([(start, ())])
+    seen = {(start, ())}
+    while queue:
+        node, stack = queue.popleft()
+        for succ in graph.edges.get(node, ()):
+            kind, symbol, payload = graph.nodes[succ]
+            if kind == PUSH:
+                next_stack = stack + (symbol,)
+            elif kind == POP:
+                if not stack or stack[-1] != symbol:
+                    continue
+                next_stack = stack[:-1]
+                if payload is not None and not next_stack:
+                    results.add(payload)
+                    continue
+            else:
+                next_stack = stack
+            state = (succ, next_stack)
+            if state not in seen and len(next_stack) <= 8:
+                seen.add(state)
+                queue.append(state)
+    return sorted(results)
+
+
+# -- resolution ----------------------------------------------------------------
+
+
+@dataclass
+class ScopeStats:
+    """Counters exported to the run report's ``scopes`` section."""
+
+    files: int = 0
+    modules: int = 0
+    imports: int = 0
+    definitions: int = 0
+    references: int = 0
+    scope_resolutions: int = 0
+    unresolved_refs: int = 0
+    ambiguous_refs: int = 0
+    artifact_cache_hits: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass
+class Resolution:
+    """The outcome of cross-file scope-graph resolution."""
+
+    artifacts: list[FileArtifact] = field(default_factory=list)
+    graph: ScopeGraph = field(default_factory=ScopeGraph)
+    stats: ScopeStats = field(default_factory=ScopeStats)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: (path, raw callee name) -> resolved global symbol id.
+    bindings: dict = field(default_factory=dict)
+    #: global symbol id -> source file path (lint/report attribution).
+    file_of: dict = field(default_factory=dict)
+
+    def diagnostic_count(self, kind: str) -> int:
+        return sum(1 for d in self.diagnostics if d.kind == kind)
+
+
+def _diag(kind, func, line, subject, message, file) -> Diagnostic:
+    return Diagnostic(kind=kind, func=func, line=line, subject=subject,
+                      message=message, file=file)
+
+
+def resolve_files(artifacts: list[FileArtifact]) -> Resolution:
+    """Resolve every reference across a set of per-file artifacts.
+
+    Input order is irrelevant: artifacts are processed in canonical
+    (module, path) order and all tie-breaks are lexicographic.
+    """
+    ordered = sorted(artifacts, key=lambda a: (a.module, a.path))
+    out = Resolution(artifacts=ordered)
+    stats = out.stats
+    stats.files = len(ordered)
+    stats.modules = len({a.module for a in ordered if a.module})
+
+    modules: dict[str, FileArtifact] = {}
+    for artifact in ordered:
+        if artifact.module and artifact.module in modules:
+            other = modules[artifact.module]
+            out.diagnostics.append(_diag(
+                KIND_AMBIGUOUS_IMPORT, "<module>", 0, artifact.module,
+                f"module {artifact.module!r} is declared by both"
+                f" {other.path!r} and {artifact.path!r}",
+                artifact.path,
+            ))
+        else:
+            modules.setdefault(artifact.module, artifact)
+        for d in artifact.defs:
+            out.file_of[symbol_id(artifact.module, d.name)] = artifact.path
+        stats.definitions += len(artifact.defs)
+
+    graph = out.graph
+    for artifact in ordered:
+        extend_graph(graph, artifact)
+
+    for artifact in ordered:
+        local_defs = {d.name for d in artifact.defs}
+        exported: dict[str, str] = {}  # bare name -> providing module
+        stats.imports += len(artifact.imports)
+        for imp in artifact.imports:
+            target = modules.get(imp.module)
+            if target is None or (imp.module and not target.module):
+                out.diagnostics.append(_diag(
+                    KIND_UNRESOLVED, "<import>", imp.line, imp.module,
+                    f"import of unknown module {imp.module!r}",
+                    artifact.path,
+                ))
+                continue
+            if imp.symbol is None:
+                continue
+            if imp.symbol not in {d.name for d in target.defs}:
+                out.diagnostics.append(_diag(
+                    KIND_UNRESOLVED, "<import>", imp.line, imp.symbol,
+                    f"module {imp.module!r} does not define"
+                    f" {imp.symbol!r}",
+                    artifact.path,
+                ))
+                continue
+            if imp.symbol in local_defs:
+                out.diagnostics.append(_diag(
+                    KIND_AMBIGUOUS_IMPORT, "<import>", imp.line, imp.symbol,
+                    f"imported {imp.module}.{imp.symbol} collides with a"
+                    f" local definition of {imp.symbol!r}"
+                    " (the local definition wins)",
+                    artifact.path,
+                ))
+            elif imp.symbol in exported:
+                out.diagnostics.append(_diag(
+                    KIND_AMBIGUOUS_IMPORT, "<import>", imp.line, imp.symbol,
+                    f"{imp.symbol!r} is imported from both"
+                    f" {exported[imp.symbol]!r} and {imp.module!r}"
+                    " (the lexicographically first module wins)",
+                    artifact.path,
+                ))
+            else:
+                exported[imp.symbol] = imp.module
+
+        for ref in artifact.refs:
+            stats.references += 1
+            in_func = symbol_id(artifact.module, ref.func)
+            candidates = resolve_node(graph, (artifact.path, "ref", ref.name))
+            if not candidates:
+                stats.unresolved_refs += 1
+                if "." in ref.name:
+                    alias, member = ref.name.split(".", 1)
+                    known = modules.get(alias) is not None
+                    out.diagnostics.append(_diag(
+                        KIND_UNRESOLVED, in_func, ref.line, ref.name,
+                        (f"module {alias!r} does not define {member!r}"
+                         if known else
+                         f"qualified call into unknown module {alias!r}"),
+                        artifact.path,
+                    ))
+                continue
+            if len(candidates) > 1:
+                stats.ambiguous_refs += 1
+                local = symbol_id(artifact.module, ref.name)
+                winner = local if local in candidates else candidates[0]
+                out.diagnostics.append(_diag(
+                    KIND_AMBIGUOUS_IMPORT, in_func, ref.line, ref.name,
+                    f"{ref.name!r} resolves to any of"
+                    f" {', '.join(candidates)}; using {winner!r}",
+                    artifact.path,
+                ))
+            else:
+                winner = candidates[0]
+            stats.scope_resolutions += 1
+            out.bindings[(artifact.path, ref.name)] = winner
+    return out
+
+
+# -- linking -------------------------------------------------------------------
+
+
+class LinkError(ParseError):
+    """Raised when multi-file linking cannot produce a single program."""
+
+
+def _rewrite_expr(expr, rewrite):
+    if isinstance(expr, ast.Call):
+        args = tuple(_rewrite_expr(a, rewrite) for a in expr.args)
+        return ast.Call(rewrite(expr.func), args, expr.site)
+    if isinstance(expr, ast.Binary):
+        return ast.Binary(
+            expr.op, _rewrite_expr(expr.left, rewrite),
+            _rewrite_expr(expr.right, rewrite),
+        )
+    if isinstance(expr, ast.Unary):
+        return ast.Unary(expr.op, _rewrite_expr(expr.operand, rewrite))
+    return expr
+
+
+def _rewrite_body(body: list, rewrite) -> None:
+    for stmt in body:
+        if isinstance(stmt, ast.Assign):
+            stmt.value = _rewrite_expr(stmt.value, rewrite)
+        elif isinstance(stmt, ast.ExprStmt):
+            stmt.call = _rewrite_expr(stmt.call, rewrite)
+        elif isinstance(stmt, ast.Event):
+            stmt.args = tuple(_rewrite_expr(a, rewrite) for a in stmt.args)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                stmt.value = _rewrite_expr(stmt.value, rewrite)
+        elif isinstance(stmt, ast.If):
+            stmt.cond = _rewrite_expr(stmt.cond, rewrite)
+            _rewrite_body(stmt.then_body, rewrite)
+            _rewrite_body(stmt.else_body, rewrite)
+        elif isinstance(stmt, ast.While):
+            stmt.cond = _rewrite_expr(stmt.cond, rewrite)
+            _rewrite_body(stmt.body, rewrite)
+        elif isinstance(stmt, ast.TryCatch):
+            _rewrite_body(stmt.try_body, rewrite)
+            _rewrite_body(stmt.catch_body, rewrite)
+
+
+def link_modules(
+    module_files: list[ast.ModuleFile], resolution: Resolution
+) -> ast.Program:
+    """Fuse resolved files into one :class:`~repro.lang.ast.Program`.
+
+    Function names become global symbol ids and every call site is
+    rewritten to its resolved target, so the call graph, relevance
+    slicing, constant propagation and DSE all consume resolved symbol
+    ids -- interprocedural analysis crosses file boundaries for free.
+    Unresolved (extern) callees keep their raw name, preserving the
+    single-file extern-call semantics.
+    """
+    program = ast.Program()
+    for mf in sorted(module_files, key=lambda m: (m.module, m.path)):
+        bindings = resolution.bindings
+
+        def rewrite(name: str, _path=mf.path) -> str:
+            return bindings.get((_path, name), name)
+
+        for fname, fn in mf.functions.items():
+            global_name = symbol_id(mf.module, fname)
+            if global_name in program.functions:
+                raise LinkError(
+                    f"duplicate symbol {global_name!r}"
+                    f" (redefined in {mf.path!r})"
+                )
+            _rewrite_body(fn.body, rewrite)
+            program.functions[global_name] = ast.Function(
+                global_name, fn.params, fn.body, line=fn.line
+            )
+    return program
+
+
+# -- the loader ----------------------------------------------------------------
+
+
+@dataclass
+class LoadedProgram:
+    """A linked multi-file program plus its resolution record."""
+
+    program: ast.Program
+    resolution: Resolution
+    module_files: list[ast.ModuleFile] = field(default_factory=list)
+
+
+def _as_items(sources) -> list[tuple[str, str]]:
+    if isinstance(sources, dict):
+        return list(sources.items())
+    return [(str(path), text) for path, text in sources]
+
+
+def load_modules(sources, cache: ScopeArtifactCache | None = None) -> LoadedProgram:
+    """Parse, resolve and link a multi-file program.
+
+    ``sources`` is ``{path: text}`` or ``[(path, text), ...]`` in any
+    order -- files are canonicalised by (module, path) before site ids
+    are assigned, so the resulting program is byte-identical however
+    the files were discovered.  ``cache`` (optional) persists per-file
+    artifacts keyed by content digest.
+    """
+    items = _as_items(sources)
+    scanned = []
+    for path, text in items:
+        tokens = tokenize(text)
+        scanned.append((scan_module_name(tokens), path, text, tokens))
+    scanned.sort(key=lambda entry: (entry[0], entry[1]))
+
+    module_files: list[ast.ModuleFile] = []
+    artifacts: list[FileArtifact] = []
+    site_base = 0
+    cache_hits = 0
+    for module, path, text, tokens in scanned:
+        mf = parse_module(text, path=path, site_base=site_base, tokens=tokens)
+        site_base = mf.next_site
+        module_files.append(mf)
+        digest = source_digest(text)
+        artifact = cache.get(digest) if cache is not None else None
+        if artifact is not None and artifact.module == mf.module:
+            cache_hits += 1
+            artifact.path = path  # digests key content, paths may move
+        else:
+            artifact = build_artifact(mf, digest)
+            if cache is not None:
+                cache.put(artifact)
+        artifacts.append(artifact)
+
+    resolution = resolve_files(artifacts)
+    resolution.stats.artifact_cache_hits = cache_hits
+    program = link_modules(module_files, resolution)
+    return LoadedProgram(
+        program=program, resolution=resolution, module_files=module_files
+    )

@@ -13,6 +13,14 @@ Because every bug is seeded, TP/FP accounting is exact instead of manual.
 
 from repro.workloads.bugs import SeededBug, classify_report, Classification
 from repro.workloads.generator import generate_subject, SubjectProfile
+from repro.workloads.multifile import (
+    MULTIFILE_PROFILES,
+    MultiFileProfile,
+    MultiFileSubject,
+    build_multifile_subject,
+    generate_multifile_subject,
+    pack_accounting,
+)
 from repro.workloads.subjects import SUBJECT_PROFILES, build_subject, Subject
 
 __all__ = [
@@ -24,4 +32,10 @@ __all__ = [
     "SUBJECT_PROFILES",
     "build_subject",
     "Subject",
+    "MULTIFILE_PROFILES",
+    "MultiFileProfile",
+    "MultiFileSubject",
+    "build_multifile_subject",
+    "generate_multifile_subject",
+    "pack_accounting",
 ]

@@ -396,3 +396,38 @@ def test_heartbeat_parallel_suffix_reports_data_plane():
     early = beat(EngineStats(pairs_processed=3, waves=1))
     assert "stolen 0" in early
     assert "busy" not in early
+
+
+def test_run_report_scopes_section_for_multifile_sources():
+    sources = {
+        "net.mini": """
+        module net;
+
+        func open_conn(x) {
+            var s = new Socket();
+            s.connect(x);
+            return s;
+        }
+        """,
+        "app.mini": """
+        import net;
+
+        func main(x) {
+            var a = net.open_conn(x);
+            return a;
+        }
+        """,
+    }
+    run = _run(sources, metrics=True)
+    report = build_run_report(run, subject="multifile")
+    assert validate_run_report(report) == []
+    scopes = report["scopes"]
+    assert scopes["files"] == 2
+    assert scopes["scope_resolutions"] == 1
+    assert scopes["unresolved_refs"] == 0
+    # Single-file string sources never grew a scopes section.
+    single = build_run_report(
+        _run(sources["net.mini"].replace("module net;", ""), metrics=True)
+    )
+    assert "scopes" not in single
+    assert validate_run_report(single) == []

@@ -302,3 +302,15 @@ def test_compare_unreadable_input_is_usage_error(tmp_path, capsys):
     base = write_json(tmp_path / "base.json", bench_doc())
     assert bench_compare.main([str(tmp_path / "missing.json"), base]) == 2
     assert "cannot load" in capsys.readouterr().err
+
+
+def test_compare_scopes_counters_gate_exactly(tmp_path, capsys):
+    base = bench_doc(scopes={"scope_resolutions": 58, "unresolved_refs": 3})
+    fresh = bench_doc(scopes={"scope_resolutions": 57, "unresolved_refs": 3})
+    assert run_compare(tmp_path, fresh, base) == 1
+    out = capsys.readouterr().out
+    assert "scopes.scope_resolutions" in out
+    assert "deterministic counter" in out
+    # Identical counters pass, exactly like reduction.* counters.
+    assert run_compare(tmp_path, bench_doc(scopes={"unresolved_refs": 3}),
+                       bench_doc(scopes={"unresolved_refs": 3})) == 0

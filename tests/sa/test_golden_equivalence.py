@@ -69,3 +69,40 @@ def test_reduction_counters_exported_in_run_report():
 
     off = run_subject("zookeeper", 0.3, reduce=False)
     assert "reduction" not in off.run_report()
+
+
+def _run_gateway(reduce, workers):
+    from repro.analysis.pipeline import Grapple, GrappleOptions
+    from repro.checkers.checker import pack_checkers
+    from repro.engine.computation import EngineOptions
+    from repro.workloads.multifile import build_multifile_subject
+
+    subject = build_multifile_subject("gateway")
+    options = GrappleOptions(
+        reduce=reduce, engine=EngineOptions(workers=workers)
+    )
+    run = Grapple(
+        subject.sources, [c.fsm for c in pack_checkers()], options
+    ).run()
+    cls = classify_report(subject.seeds, run.report)
+    return canonical_warnings(run), (
+        sorted(cls.tp.items()),
+        sorted(cls.fp.items()),
+        sorted(cls.missed.items()),
+        len(cls.unexpected),
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("workers", [1, 4])
+def test_reduction_preserves_reports_multifile(workers):
+    """Same bar as the single-file matrix, over the multi-file gateway
+    subject and the property packs: scope resolution + reduction must
+    not perturb a single warning or the TP/FP accounting."""
+    off_warnings, off_accounting = _run_gateway(False, workers)
+    on_warnings, on_accounting = _run_gateway(True, workers)
+    assert on_warnings == off_warnings
+    assert on_accounting == off_accounting
+    tp, fp, missed, unexpected = on_accounting
+    assert sum(n for _, n in missed) == 0
+    assert unexpected == 0

@@ -158,4 +158,14 @@ def test_report_container_dedups_and_sorts():
             kind="use-before-init", func="a", line=9, subject="y", message="m"
         )
     )
-    assert [d.func for d in report.sorted()] == ["a", "f"]
+    # Position-first ordering: (file, line, kind, subject, ...), so the
+    # line-3 diagnostic precedes line 9 whatever the function names are.
+    assert [d.func for d in report.sorted()] == ["f", "a"]
+    report.add(
+        Diagnostic(
+            kind="use-before-init", func="z", line=1, subject="q",
+            message="m", file="b.mini",
+        )
+    )
+    # Diagnostics with a file sort after file-less ones, by path.
+    assert [d.func for d in report.sorted()] == ["f", "a", "z"]

@@ -1,0 +1,159 @@
+"""Multi-file lint: new rules, file attribution, deterministic order."""
+
+from repro.checkers import pack_checkers
+from repro.sa.lint import (
+    KIND_DEAD_STORE,
+    KIND_LOCK_ORDER,
+    KIND_SHADOWED,
+    KIND_TAINTED_SINK,
+    run_lint,
+    run_lint_files,
+)
+from repro.sa.scopes import KIND_AMBIGUOUS_IMPORT, KIND_UNRESOLVED
+
+PACK_FSMS = [c.fsm for c in pack_checkers()]
+
+
+def _lint(sources):
+    return run_lint_files(sources, fsms=PACK_FSMS)
+
+
+def test_dead_store_flags_pure_scalar_only():
+    report = run_lint("""
+    func main(x) {
+        var w = x + 2;
+        var r = helper(x);
+        var s = new Socket();
+        return r;
+    }
+    """)
+    dead = report.by_kind(KIND_DEAD_STORE)
+    # `w` (pure scalar, never read) is flagged; the call result and the
+    # allocation are not -- dropping them could hide effects.
+    assert [d.subject for d in dead] == ["w"]
+
+
+def test_shadowed_variable_covers_params_and_outer_declarations():
+    report = run_lint("""
+    func main(x) {
+        var y = 1;
+        if (x > 0) {
+            var y = 2;
+            var x = 3;
+            return x + y;
+        }
+        return y;
+    }
+    """)
+    shadowed = sorted(d.subject for d in report.by_kind(KIND_SHADOWED))
+    assert shadowed == ["x", "y"]
+
+
+def test_tainted_sink_fires_only_without_sanitizer():
+    bad = run_lint("""
+    func main(x) {
+        var u = new UserInput();
+        u.exec();
+        return 0;
+    }
+    """, fsms=PACK_FSMS)
+    good = run_lint("""
+    func main(x) {
+        var u = new UserInput();
+        u.sanitize();
+        u.exec();
+        return 0;
+    }
+    """, fsms=PACK_FSMS)
+    assert len(bad.by_kind(KIND_TAINTED_SINK)) == 1
+    assert good.by_kind(KIND_TAINTED_SINK) == []
+
+
+def test_lock_order_flags_wait_while_holding():
+    report = run_lint("""
+    func main(x) {
+        var m = new Monitor();
+        m.acquire();
+        m.wait();
+        m.release();
+        return 0;
+    }
+    """, fsms=PACK_FSMS)
+    [diag] = report.by_kind(KIND_LOCK_ORDER)
+    assert diag.subject == "m"
+
+
+def test_multifile_lint_attributes_diagnostics_to_files():
+    sources = {
+        "lib.mini": """
+        module lib;
+
+        func leaky(v) {
+            var dead = v + 1;
+            return v;
+        }
+        """,
+        "app.mini": """
+        import lib;
+
+        func main(x) {
+            var y = lib.leaky(x);
+            var z = lib.nothere(x);
+            return y + z;
+        }
+        """,
+    }
+    report = _lint(sources)
+    [dead] = report.by_kind(KIND_DEAD_STORE)
+    assert dead.file == "lib.mini"
+    # The diagnosed function carries its global symbol id.
+    assert dead.func == "lib.leaky"
+    [unresolved] = report.by_kind(KIND_UNRESOLVED)
+    assert unresolved.file == "app.mini"
+
+
+def test_multifile_lint_is_byte_deterministic_under_file_order():
+    sources = [
+        ("b.mini", "module beta;\nfunc pick(v) { return v; }\n"),
+        ("a.mini", "module alpha;\nfunc pick(v) { return v; }\n"),
+        ("app.mini", """
+        import alpha.pick;
+        import beta.pick;
+
+        func main(x) {
+            var y = pick(x);
+            var w = x + 1;
+            return y;
+        }
+        """),
+    ]
+    baseline = _lint(sources).summary()
+    assert _lint(sources[::-1]).summary() == baseline
+    report = _lint(dict(sources))
+    assert report.summary() == baseline
+    assert {KIND_AMBIGUOUS_IMPORT, KIND_DEAD_STORE} <= report.kinds()
+
+
+def test_sorted_output_is_position_first():
+    report = _lint({
+        "z.mini": """
+        module zeta;
+
+        func f(v) {
+            var dead = v;
+            return v;
+        }
+        """,
+        "a.mini": """
+        import zeta;
+
+        func main(x) {
+            var gone = x + 1;
+            var y = zeta.f(x);
+            return y;
+        }
+        """,
+    })
+    described = [d.describe() for d in report.sorted()]
+    files = [line.split(":", 1)[0] for line in described]
+    assert files == sorted(files)

@@ -51,6 +51,16 @@ def test_spec_file_example(capsys):
     assert "OK" in out
 
 
+def test_multifile_demo_example(capsys):
+    _run_example("multifile_demo")
+    out = capsys.readouterr().out
+    assert "7 lint diagnostic(s)" in out
+    for kind in ("unresolved-name", "ambiguous-import", "tainted-sink",
+                 "lock-order", "dead-store", "shadowed-variable"):
+        assert f"[{kind}]" in out
+    assert "OK" in out
+
+
 @pytest.mark.slow
 def test_audit_example_small_scale(capsys):
     _run_example("audit_synthetic_subject", ["zookeeper", "0.05"])
