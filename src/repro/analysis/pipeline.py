@@ -31,6 +31,10 @@ class GrappleOptions:
     #: folding, dead-store elimination, FSM-relevance slicing and cf-chain
     #: compression.  On by default; ``--no-reduce`` turns it off.
     reduce: bool = True
+    #: Optional :class:`~repro.sa.scopes.ScopeArtifactCache` shared
+    #: across runs (the serve daemon hands one in so only edited files
+    #: re-derive their scope artifacts).
+    scope_cache: object = None
     engine: EngineOptions = field(default_factory=EngineOptions)
 
 
@@ -113,6 +117,7 @@ class Grapple:
             reduce=options.reduce,
             reduction=reduction,
             trace=trace,
+            scope_cache=options.scope_cache,
         )
         fsms_by_type: dict[str, FSM] = {}
         for fsm in self.fsms:

@@ -160,6 +160,47 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("name")
     generate.add_argument("--scale", type=float, default=1.0)
     generate.add_argument("-o", "--output", default=None)
+
+    serve = sub.add_parser(
+        "serve",
+        help="incremental analysis daemon: watch a workspace of .mini"
+        " files and answer each edit with its warning delta",
+    )
+    serve.add_argument("workspace",
+                       help="directory of .mini files to watch")
+    serve.add_argument("--workdir", required=True,
+                       help="persistent state directory (scope-artifact"
+                       " cache, stratum results, serve-state.json)")
+    serve.add_argument(
+        "--checkers",
+        default=",".join(PAPER_CHECKERS),
+        help="comma-separated checker names (default: the paper's four)",
+    )
+    serve.add_argument("--unroll", type=int, default=2,
+                       help="loop unroll bound (default 2)")
+    serve.add_argument("--reduce", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="pre-closure reductions (default on)")
+    serve.add_argument("--socket", metavar="PATH", default=None,
+                       help="answer line-oriented JSON requests on a"
+                       " local unix socket at PATH (edits can also be"
+                       " pushed through it); without it the daemon"
+                       " only polls the workspace")
+    serve.add_argument("--poll", type=float, default=0.5,
+                       help="workspace polling cadence in seconds"
+                       " (mtime+digest, no external watchers;"
+                       " default 0.5)")
+    serve.add_argument("--once", action="store_true",
+                       help="one scan: bring the persistent state"
+                       " current, print the run-report fragment, exit"
+                       " (scripted/CI mode)")
+    serve.add_argument("--report", action="store_true",
+                       help="with --once: print the full accumulated"
+                       " serve report instead of the edit fragment")
+    serve.add_argument("--trace", metavar="FILE", default=None,
+                       help="record a Chrome trace of the serve session"
+                       " (incr-diff/incr-join/incr-retract spans plus"
+                       " the per-stratum engine spans)")
     return parser
 
 
@@ -381,7 +422,7 @@ def cmd_generate(args) -> int:
     )
 
     if args.name in MULTIFILE_PROFILES:
-        subject = build_multifile_subject(args.name)
+        subject = build_multifile_subject(args.name, scale=args.scale)
         if args.output:
             os.makedirs(args.output, exist_ok=True)
             for path in sorted(subject.sources):
@@ -410,6 +451,38 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """``repro serve``: the incremental analysis daemon."""
+    import json
+
+    from repro.serve import Server, ServeEngine
+
+    recorder = None
+    if args.trace:
+        from repro.obs.trace import TraceRecorder
+
+        recorder = TraceRecorder()
+    checkers = [Checker.by_name(n.strip()) for n in args.checkers.split(",")]
+    engine = ServeEngine(
+        args.workspace, args.workdir, [c.fsm for c in checkers],
+        unroll=args.unroll, reduce=args.reduce, trace=recorder,
+    )
+    try:
+        if args.once:
+            fragment = engine.scan()
+            doc = engine.report() if args.report else fragment
+            json.dump(doc, sys.stdout, indent=2, sort_keys=True)
+            sys.stdout.write("\n")
+            return 0
+        server = Server(engine, socket_path=args.socket, poll=args.poll)
+        return server.run()
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        if recorder is not None:
+            recorder.export(args.trace)
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -417,6 +490,7 @@ def main(argv=None) -> int:
         "check": cmd_check,
         "subjects": cmd_subjects,
         "generate": cmd_generate,
+        "serve": cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -22,6 +22,7 @@ class LRUCache:
         self._data: OrderedDict = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, key):
         """The cached value, or None.  Counts hit/miss statistics."""
@@ -41,11 +42,17 @@ class LRUCache:
         state that query will observe."""
         return self._data.get(key)
 
-    def put(self, key, value) -> None:
+    def put(self, key, value):
+        """Insert/refresh an entry.  Returns the evicted ``(key, value)``
+        pair when capacity was exceeded, else None -- callers owning
+        resources behind entries (e.g. on-disk artifacts) use it to
+        release them."""
         self._data[key] = value
         self._data.move_to_end(key)
         if len(self._data) > self.capacity:
-            self._data.popitem(last=False)
+            self.evictions += 1
+            return self._data.popitem(last=False)
+        return None
 
     def __len__(self) -> int:
         return len(self._data)
@@ -57,6 +64,7 @@ class LRUCache:
         self._data.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
 
 class FeasibilityMemo:

@@ -143,7 +143,51 @@ def write_manifest(workdir: str, *, phase: str, options, store,
     path = manifest_path(workdir)
     data = json.dumps(manifest, indent=1).encode()
     serialize.atomic_write_bytes(path, data)
-    return path
+    return manifest
+
+
+def _prunable(name: str) -> bool:
+    """Whether a workdir entry is engine-owned garbage when unreferenced:
+    partition/delta files (with atomic-write temps) and manifest temps.
+    Anything else in the directory is not ours to delete."""
+    base = name[:-4] if name.endswith(".tmp") else name
+    if base == MANIFEST:
+        return name != MANIFEST  # only the temp, never the manifest
+    return (
+        (base.startswith("part_") or base.startswith("delta_"))
+        and base.endswith(".bin")
+    )
+
+
+def prune_workdir(workdir: str, manifest: dict) -> int:
+    """Delete superseded partition/delta files the manifest no longer
+    references (folded delta logs, torn-write temps, files orphaned by
+    repartitioning).  Returns the number of files removed.
+
+    Crash-safe by construction: only files *outside* the manifest's
+    reference set are candidates, and the manifest itself is never
+    touched, so a kill after any prefix of the deletions leaves the
+    checkpointed state fully resumable -- the survivors are exactly the
+    referenced files plus some garbage the next prune removes.
+    """
+    referenced = {MANIFEST}
+    for desc in manifest.get("partitions", ()):
+        referenced.add(desc["path"])
+        referenced.add(desc["delta_path"])
+    try:
+        names = os.listdir(workdir)
+    except OSError:
+        return 0
+    pruned = 0
+    for name in sorted(names):
+        if name in referenced or not _prunable(name):
+            continue
+        try:
+            os.remove(os.path.join(workdir, name))
+        except OSError:
+            continue
+        pruned += 1
+    return pruned
 
 
 def load_manifest(workdir: str) -> dict | None:

@@ -461,11 +461,17 @@ class GraphEngine:
         last_seen = (
             self._scheduler.last_seen if self._scheduler is not None else {}
         )
-        ckpt.write_manifest(
+        manifest = ckpt.write_manifest(
             self._ckpt_dir, phase=self.phase or "closure",
             options=self.options, store=store, last_seen=last_seen,
             stats=self.stats, graph=self._graph, complete=complete,
             steal_frontier=getattr(self, "_steal_frontier", None),
+        )
+        # With the manifest durable, anything it does not reference is
+        # superseded garbage (folded delta logs, torn-write temps); a
+        # long-running workdir would otherwise grow monotonically.
+        self.stats.checkpoint_files_pruned += ckpt.prune_workdir(
+            self._ckpt_dir, manifest
         )
         if tick:
             trace.end("checkpoint", tick, cat="fault", complete=complete)

@@ -42,6 +42,10 @@ class PrefetchReader:
         self._lock = threading.Lock()
         self._thread: threading.Thread | None = None
         self._closed = False
+        # Unexpected (non-I/O, non-corruption) reader failures.  Written
+        # only by the reader thread; folded into EngineStats by the
+        # consumer when take() re-raises.
+        self.errors = 0
 
     def _ensure_thread(self) -> None:
         if self._thread is None or not self._thread.is_alive():
@@ -118,13 +122,23 @@ class PrefetchReader:
                 entry["parsed"] = None
                 entry["deltas"] = None
                 entry["error"] = exc
-            except Exception:
+            except (OSError, EOFError):
                 # Benign failures (file not yet written, version race,
                 # transient OS error) leave the entry empty: take()
                 # reports a miss and the caller falls back to a
                 # synchronous load.
                 entry["parsed"] = None
                 entry["deltas"] = None
+            except Exception as exc:
+                # Anything else is a programming error, not an I/O race.
+                # Swallowing it here would degrade every prefetch into a
+                # silent eternal miss; surface it through the error slot
+                # so take() re-raises on the engine thread, where it is
+                # counted (``prefetch_errors``) and propagated.
+                entry["parsed"] = None
+                entry["deltas"] = None
+                entry["error"] = exc
+                self.errors += 1
             finally:
                 entry["ready"].set()
                 if span_start:
@@ -141,10 +155,13 @@ class PrefetchReader:
 
         Returns ``(ColumnarFile, [delta_dict, ...], dropped_frames)`` on
         a hit, or ``None`` on a miss (never scheduled, version changed
-        since, or the read failed benignly).  A read that failed on
-        *corrupt* bytes raises :class:`CorruptPartition` instead -- the
-        caller counts it separately and routes it to the retry layer
-        rather than silently re-reading the same damage forever.  Blocks
+        since, or the read failed benignly on ``OSError``/``EOFError``).
+        A read that failed on *corrupt* bytes raises
+        :class:`CorruptPartition` instead -- the caller counts it
+        separately and routes it to the retry layer rather than silently
+        re-reading the same damage forever.  Any other reader-thread
+        exception (a programming error) is re-raised here too, counted
+        as ``prefetch_errors`` by the consumer.  Blocks
         until an in-flight read finishes -- the wait is never longer
         than the synchronous read would be.
         """

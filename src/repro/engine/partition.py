@@ -211,6 +211,13 @@ class PartitionStore:
                 # salvages what it can (or raises for the retry layer).
                 self.stats.prefetch_corrupt += 1
                 got = None
+            except Exception:
+                # Unexpected reader-thread failure: a programming error
+                # that used to degrade into an eternal cache miss.
+                # Count it so it shows in the run report, then let it
+                # propagate -- the retry layer decides survival.
+                self.stats.prefetch_errors += 1
+                raise
             if metrics is not None:
                 metrics.observe(
                     "prefetch_wait_s", time.perf_counter() - wait_start

@@ -75,6 +75,11 @@ class EngineStats:
     # counted separately from benign misses (version races, cold starts)
     # so real damage is visible and reaches the retry layer.
     prefetch_corrupt: int = stat_field()
+    # Prefetched reads that failed on an *unexpected* exception -- a
+    # programming error, not an I/O race or corruption.  The error is
+    # re-raised on the engine thread after counting; a nonzero value in
+    # a completed run means the failure was survived by retry.
+    prefetch_errors: int = stat_field()
     spill_frames: int = stat_field()
     spill_bytes: int = stat_field()
     # Fault tolerance: truncated trailing delta frames dropped on read
@@ -90,6 +95,16 @@ class EngineStats:
     partitions_rebuilt: int = stat_field(scope="coordinator")
     partitions_quarantined: int = stat_field(scope="coordinator")
     checkpoints_written: int = stat_field(scope="coordinator")
+    # Superseded workdir files (folded delta logs, torn-write temps,
+    # repartition orphans) garbage-collected after a durable manifest
+    # write -- keeps a long-running serve workdir from growing forever.
+    checkpoint_files_pruned: int = stat_field(scope="coordinator")
+    # Incremental serve daemon (repro.serve): edits answered, closure
+    # pairs added/removed by the incremental transitive-closure delta,
+    # and accumulated warnings retracted when their stratum re-derived.
+    edits_served: int = stat_field(scope="coordinator")
+    edges_rederived: int = stat_field(scope="coordinator")
+    warnings_retracted: int = stat_field(scope="coordinator")
     # Merge-join frontier drain: rounds processed and distinct join
     # vertices probed against the right-hand sorted runs.
     join_batches: int = stat_field()

@@ -31,6 +31,7 @@ KNOWN_SPANS = (
     "prefetch", "spill", "repartition", "smt-solve",
     "sa-fold", "sa-dse", "sa-relevance", "sa-compress", "sa-scopes",
     "checkpoint", "retry", "absorb", "spill-merge",
+    "incr-diff", "incr-join", "incr-retract",
 )
 
 _TIMING_KEYS = ("preprocess_s", "computation_s", "total_s")

@@ -64,6 +64,7 @@ from collections import deque
 from dataclasses import dataclass, field, fields
 
 from repro.checkers.report import Diagnostic
+from repro.engine.cache import LRUCache
 from repro.lang import ast
 from repro.lang.lexer import tokenize
 from repro.lang.parser import ParseError, parse_module, scan_module_name
@@ -207,18 +208,83 @@ def build_artifact(mf: ast.ModuleFile, digest: str) -> FileArtifact:
     )
 
 
-class ScopeArtifactCache:
-    """Digest-keyed on-disk store of per-file scope artifacts."""
+#: Default bound on cached artifacts.  Every edit mints a new digest, so
+#: a long-running daemon would otherwise grow the store without limit;
+#: 1024 entries comfortably covers a large workspace plus edit churn.
+ARTIFACT_CACHE_CAPACITY = 1024
 
-    def __init__(self, directory: str):
+
+class ScopeArtifactCache:
+    """Digest-keyed on-disk store of per-file scope artifacts.
+
+    Size-bounded: an in-memory :class:`~repro.engine.cache.LRUCache`
+    indexes the store, and evicting an entry unlinks its file, so the
+    directory never holds more than ``capacity`` artifacts.  Artifacts
+    already on disk (a daemon restart) are adopted into the index
+    oldest-first, so a warm directory obeys the same bound.  ``get``
+    returns a private copy -- the loader rewrites ``path`` on cache
+    hits, which must not corrupt the cached entry.
+    """
+
+    def __init__(self, directory: str,
+                 capacity: int = ARTIFACT_CACHE_CAPACITY):
         self.directory = directory
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._index = LRUCache(capacity)
+        self._adopt_existing()
+
+    def _adopt_existing(self) -> None:
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        found = []
+        for name in names:
+            if not name.endswith(".scope.json"):
+                continue
+            digest = name[: -len(".scope.json")]
+            try:
+                mtime = os.path.getmtime(os.path.join(self.directory, name))
+            except OSError:
+                continue
+            found.append((mtime, digest))
+        # Oldest first: they evict first when over capacity.  None marks
+        # "on disk, not yet parsed"; the first get() fills it in.
+        for _, digest in sorted(found):
+            self._insert(digest, None)
 
     def _path(self, digest: str) -> str:
         return os.path.join(self.directory, f"{digest}.scope.json")
 
+    def _insert(self, digest: str, artifact: FileArtifact | None) -> None:
+        evicted = self._index.put(digest, artifact)
+        if evicted is not None:
+            self.evictions += 1
+            try:
+                os.unlink(self._path(evicted[0]))
+            except OSError:
+                pass
+
+    @staticmethod
+    def _copy(artifact: FileArtifact) -> FileArtifact:
+        # Records are frozen; only ``path`` is ever rewritten, so a
+        # list-sharing shallow copy is enough.
+        return FileArtifact(
+            digest=artifact.digest, path=artifact.path,
+            module=artifact.module, defs=artifact.defs,
+            imports=artifact.imports, refs=artifact.refs,
+        )
+
+    def __len__(self) -> int:
+        return len(self._index)
+
     def get(self, digest: str) -> FileArtifact | None:
+        cached = self._index.get(digest)
+        if cached is not None:
+            self.hits += 1
+            return self._copy(cached)
         try:
             with open(self._path(digest)) as f:
                 artifact = FileArtifact.from_json(json.load(f))
@@ -226,7 +292,8 @@ class ScopeArtifactCache:
             self.misses += 1
             return None
         self.hits += 1
-        return artifact
+        self._insert(digest, artifact)
+        return self._copy(artifact)
 
     def put(self, artifact: FileArtifact) -> None:
         os.makedirs(self.directory, exist_ok=True)
@@ -236,6 +303,7 @@ class ScopeArtifactCache:
             json.dump(artifact.to_json(), f, sort_keys=True)
             f.write("\n")
         os.replace(tmp, path)
+        self._insert(artifact.digest, self._copy(artifact))
 
 
 # -- scope graph ---------------------------------------------------------------
@@ -379,6 +447,8 @@ class ScopeStats:
     unresolved_refs: int = 0
     ambiguous_refs: int = 0
     artifact_cache_hits: int = 0
+    artifact_cache_misses: int = 0
+    artifact_cache_evictions: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -396,6 +466,12 @@ class Resolution:
     bindings: dict = field(default_factory=dict)
     #: global symbol id -> source file path (lint/report attribution).
     file_of: dict = field(default_factory=dict)
+    #: path -> (site_base, next_site): the half-open range of call-site
+    #: ids assigned to each file in canonical order.  A file's site
+    #: count depends only on its own content, so per-file *offsets*
+    #: (site - base) are stable across runs that include different
+    #: neighbours -- the incremental daemon rebases warnings with this.
+    site_ranges: dict = field(default_factory=dict)
 
     def diagnostic_count(self, kind: str) -> int:
         return sum(1 for d in self.diagnostics if d.kind == kind)
@@ -627,10 +703,14 @@ def load_modules(sources, cache: ScopeArtifactCache | None = None) -> LoadedProg
 
     module_files: list[ast.ModuleFile] = []
     artifacts: list[FileArtifact] = []
+    site_ranges: dict = {}
     site_base = 0
     cache_hits = 0
+    cache_misses = 0
+    evictions_before = cache.evictions if cache is not None else 0
     for module, path, text, tokens in scanned:
         mf = parse_module(text, path=path, site_base=site_base, tokens=tokens)
+        site_ranges[path] = (site_base, mf.next_site)
         site_base = mf.next_site
         module_files.append(mf)
         digest = source_digest(text)
@@ -639,6 +719,8 @@ def load_modules(sources, cache: ScopeArtifactCache | None = None) -> LoadedProg
             cache_hits += 1
             artifact.path = path  # digests key content, paths may move
         else:
+            if cache is not None:
+                cache_misses += 1
             artifact = build_artifact(mf, digest)
             if cache is not None:
                 cache.put(artifact)
@@ -646,6 +728,12 @@ def load_modules(sources, cache: ScopeArtifactCache | None = None) -> LoadedProg
 
     resolution = resolve_files(artifacts)
     resolution.stats.artifact_cache_hits = cache_hits
+    resolution.stats.artifact_cache_misses = cache_misses
+    if cache is not None:
+        resolution.stats.artifact_cache_evictions = (
+            cache.evictions - evictions_before
+        )
+    resolution.site_ranges = site_ranges
     program = link_modules(module_files, resolution)
     return LoadedProgram(
         program=program, resolution=resolution, module_files=module_files

@@ -1,0 +1,676 @@
+"""Incremental analysis daemon: ``repro serve`` (DESIGN.md §16).
+
+The batch pipeline answers "what warnings does this program have?" by
+recomputing everything.  The daemon answers the question *per edit*:
+it watches a workspace of ``.mini`` files, and for every observed
+change re-derives only what the edit can influence, replying with the
+warning *delta* as a ``grapple/run-report`` fragment.
+
+The incremental spine has three layers, mirroring the spans it emits:
+
+``incr-diff``
+    Workspace scan (mtime+size fast path, content digest to confirm).
+    Changed files re-parse once; their scope artifacts land in the
+    digest-keyed :class:`~repro.sa.scopes.ScopeArtifactCache` shared
+    with the per-stratum Grapple runs, so an edit re-derives exactly
+    one artifact.  File-level dependency edges (imports + same-module
+    chains -- a proven over-approximation of scope-graph connectivity)
+    are re-extracted and diffed against the current base relation as a
+    weighted :class:`~repro.engine.incremental.ZSet` delta.
+
+``incr-join``
+    The edge delta feeds :class:`~repro.engine.incremental
+    .IncrementalClosure` -- level-stratified semi-naive joins against
+    delayed per-round integrals, insertion *and* retraction safe.  The
+    closure's weakly-connected components are the daemon's **strata**:
+    an edit is confined to the strata of its touched files.
+
+``incr-retract``
+    Each stratum is checked by an ordinary (deterministic, serial)
+    Grapple run, cached by a digest over its membership, content, and
+    analysis config.  Warnings are stored *rebased*: as ``(file,
+    offset)`` against the stratum-local site numbering, so the
+    accumulated state is byte-identical to a from-scratch run over the
+    final sources once global site bases are re-applied.  Warnings
+    whose stratum result was superseded are retracted from the
+    accumulated state and reported in the fragment.
+
+``edits_served`` / ``edges_rederived`` / ``warnings_retracted`` ride
+the ordinary :class:`~repro.engine.stats.EngineStats` metadata path
+into the fragment's ``counters`` section.  State (file metadata,
+stratum results, counters) persists in ``workdir/serve-state.json``
+across restarts; the scope-artifact store and per-phase checkpoint
+workdirs live under the same workdir.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import socket
+import sys
+import time
+from dataclasses import dataclass
+
+from repro.analysis.pipeline import Grapple, GrappleOptions
+from repro.engine import serialize
+from repro.engine.computation import EngineOptions
+from repro.engine.incremental import IncrementalClosure, ZSet
+from repro.engine.stats import EngineStats
+from repro.lang.lexer import tokenize
+from repro.lang.parser import ParseError, parse_module, scan_module_name
+from repro.sa.scopes import ScopeArtifactCache, build_artifact, source_digest
+
+STATE_FILE = "serve-state.json"
+STATE_SCHEMA = "grapple/serve-state"
+STATE_VERSION = 1
+
+#: Warning identity under edits: stable against *other* files growing
+#: or shrinking (offsets are file-local; global site ids are not).
+_IDENTITY = ("file", "offset", "checker", "kind", "type_name", "state",
+             "func", "line")
+
+
+@dataclass
+class FileMeta:
+    """What the daemon remembers about one workspace file."""
+
+    path: str
+    digest: str
+    module: str
+    imports: tuple
+    sites: int  # site ids this file consumes (content-determined)
+    mtime: float
+    size: int
+
+    def to_json(self) -> dict:
+        return {
+            "digest": self.digest, "module": self.module,
+            "imports": list(self.imports), "sites": self.sites,
+            "mtime": self.mtime, "size": self.size,
+        }
+
+    @classmethod
+    def from_json(cls, path: str, doc: dict) -> "FileMeta":
+        return cls(
+            path=path, digest=doc["digest"], module=doc["module"],
+            imports=tuple(doc["imports"]), sites=doc["sites"],
+            mtime=doc["mtime"], size=doc["size"],
+        )
+
+
+def _identity(warning: dict) -> tuple:
+    return tuple(warning[k] for k in _IDENTITY)
+
+
+class ServeEngine:
+    """The daemon's state machine; :class:`Server` wraps it in I/O.
+
+    Drive it directly for tests and benchmarks: :meth:`scan` observes
+    the workspace and returns one run-report fragment; :meth:`report`
+    returns the full accumulated state, byte-comparable (modulo
+    witnesses, which are engine-order informational payloads) to a
+    from-scratch ``repro check`` over the current sources.
+    """
+
+    def __init__(self, workspace: str, workdir: str, fsms,
+                 *, unroll: int = 2, reduce: bool = True, trace=None):
+        self.workspace = workspace
+        self.workdir = workdir
+        self.fsms = list(fsms)
+        self.unroll = unroll
+        self.reduce = reduce
+        self.trace = trace
+        self.stats = EngineStats()
+        os.makedirs(workdir, exist_ok=True)
+        self.cache = ScopeArtifactCache(os.path.join(workdir, "scope-cache"))
+        self.closure = IncrementalClosure()
+        self.files: dict[str, FileMeta] = {}
+        self.texts: dict[str, str] = {}
+        #: stratum digest -> {"files": [...], "warnings": [local dicts]}
+        self.strata: dict[str, dict] = {}
+        self.errors: dict[str, str] = {}
+        self._load_state()
+
+    # -- config ------------------------------------------------------------
+
+    def config_digest(self) -> str:
+        payload = {
+            "unroll": self.unroll,
+            "reduce": self.reduce,
+            "fsms": sorted(fsm.name for fsm in self.fsms),
+        }
+        text = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(text.encode()).hexdigest()
+
+    # -- persistence -------------------------------------------------------
+
+    def _state_path(self) -> str:
+        return os.path.join(self.workdir, STATE_FILE)
+
+    def _save_state(self) -> None:
+        doc = {
+            "schema": STATE_SCHEMA,
+            "version": STATE_VERSION,
+            "config": self.config_digest(),
+            "files": {p: m.to_json() for p, m in sorted(self.files.items())},
+            "strata": {
+                digest: entry for digest, entry in sorted(self.strata.items())
+            },
+            "counters": {
+                "edits_served": self.stats.edits_served,
+                "edges_rederived": self.stats.edges_rederived,
+                "warnings_retracted": self.stats.warnings_retracted,
+            },
+        }
+        data = json.dumps(doc, sort_keys=True).encode()
+        serialize.atomic_write_bytes(self._state_path(), data)
+
+    def _load_state(self) -> None:
+        try:
+            with open(self._state_path()) as f:
+                doc = json.load(f)
+        except (OSError, ValueError):
+            return
+        if (doc.get("schema") != STATE_SCHEMA
+                or doc.get("version") != STATE_VERSION
+                or doc.get("config") != self.config_digest()):
+            return  # different analysis config: results are not reusable
+        self.files = {
+            path: FileMeta.from_json(path, meta)
+            for path, meta in doc.get("files", {}).items()
+        }
+        self.strata = dict(doc.get("strata", {}))
+        counters = doc.get("counters", {})
+        self.stats.edits_served = counters.get("edits_served", 0)
+        self.stats.edges_rederived = counters.get("edges_rederived", 0)
+        self.stats.warnings_retracted = counters.get("warnings_retracted", 0)
+        # Rebuild the closure from the remembered metadata; the next
+        # scan() diffs the real workspace against it.
+        delta = [(edge, 1) for edge, _ in self._desired_edges().items()]
+        if delta:
+            self.closure.apply(delta)
+
+    # -- workspace observation ---------------------------------------------
+
+    def _workspace_files(self) -> list[str]:
+        try:
+            names = os.listdir(self.workspace)
+        except OSError:
+            return []
+        return sorted(n for n in names if n.endswith(".mini"))
+
+    def _read(self, path: str) -> str:
+        with open(os.path.join(self.workspace, path)) as f:
+            return f.read()
+
+    def _text(self, path: str) -> str:
+        if path not in self.texts:
+            self.texts[path] = self._read(path)
+        return self.texts[path]
+
+    def _observe(self, path: str, text: str, mtime: float,
+                 size: int) -> FileMeta:
+        """Parse one changed file and refresh its cached artifact."""
+        digest = source_digest(text)
+        tokens = tokenize(text)
+        module = scan_module_name(tokens)
+        mf = parse_module(text, path=path, tokens=tokens)
+        if self.cache.get(digest) is None:
+            self.cache.put(build_artifact(mf, digest))
+        return FileMeta(
+            path=path, digest=digest, module=module,
+            imports=tuple(i.module for i in mf.imports),
+            sites=mf.next_site, mtime=mtime, size=size,
+        )
+
+    def _diff_workspace(self, only=None) -> tuple[list[str], list[str]]:
+        """Observe the workspace; returns (changed, removed) paths.
+
+        ``only`` restricts the stat scan to the named paths (the socket
+        edit op knows exactly what it wrote); removal detection always
+        sees the full listing.
+        """
+        present = self._workspace_files()
+        removed = [p for p in self.files if p not in present]
+        for path in removed:
+            del self.files[path]
+            self.texts.pop(path, None)
+            self.errors.pop(path, None)
+        changed: list[str] = []
+        candidates = present if only is None else [
+            p for p in present if p in only
+        ]
+        for path in candidates:
+            try:
+                st = os.stat(os.path.join(self.workspace, path))
+            except OSError:
+                continue
+            meta = self.files.get(path)
+            if (meta is not None and path not in self.errors
+                    and meta.mtime == st.st_mtime and meta.size == st.st_size):
+                continue
+            text = self._read(path)
+            digest = source_digest(text)
+            if meta is not None and meta.digest == digest \
+                    and path not in self.errors:
+                meta.mtime, meta.size = st.st_mtime, st.st_size
+                continue
+            try:
+                new_meta = self._observe(path, text, st.st_mtime, st.st_size)
+            except ParseError as exc:
+                # A broken file keeps its last good analysis (if any);
+                # the fragment carries the error instead of a crash.
+                self.errors[path] = str(exc)
+                continue
+            self.errors.pop(path, None)
+            self.files[path] = new_meta
+            self.texts[path] = text
+            changed.append(path)
+        return changed, removed
+
+    # -- dependency edges and strata ---------------------------------------
+
+    def _desired_edges(self) -> ZSet:
+        """File-level dependency edges implied by current metadata:
+        importer -> provider for every import, plus a chain linking
+        files that declare the same module (they share a namespace).
+        This over-approximates scope-graph connectivity, so distinct
+        strata can never influence each other's warnings."""
+        providers: dict[str, list[str]] = {}
+        for meta in self.files.values():
+            providers.setdefault(meta.module, []).append(meta.path)
+        pairs: set = set()
+        for paths in providers.values():
+            paths.sort()
+            pairs.update(zip(paths, paths[1:]))
+        for meta in self.files.values():
+            for module in meta.imports:
+                for path in providers.get(module, ()):
+                    if path != meta.path:
+                        pairs.add((meta.path, path))
+        edges = ZSet()
+        for pair in pairs:
+            edges.add(pair, 1)
+        return edges
+
+    def _edge_delta(self) -> list:
+        desired = self._desired_edges()
+        current = self.closure.edges
+        delta = []
+        for edge, weight in desired.items():
+            diff = weight - current.weight(edge)
+            if diff:
+                delta.append((edge, diff))
+        for edge, weight in current.items():
+            if edge not in desired:
+                delta.append((edge, -weight))
+        return delta
+
+    def _stratum_digest(self, membership: list[str]) -> str:
+        payload = [[p, self.files[p].digest] for p in membership]
+        payload.append(["<config>", self.config_digest()])
+        text = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(text.encode()).hexdigest()
+
+    def _run_stratum(self, membership: list[str]):
+        sources = {p: self._text(p) for p in membership}
+        options = GrappleOptions(
+            unroll=self.unroll, reduce=self.reduce, scope_cache=self.cache,
+            engine=EngineOptions(trace=self.trace),
+        )
+        return Grapple(sources, self.fsms, options).run()
+
+    @staticmethod
+    def _localize(run) -> list[dict]:
+        """Stratum warnings rebased to (file, offset) site coordinates."""
+        ranges = run.compiled.resolution.site_ranges
+        out = []
+        for w in run.report.warnings:
+            for path, (base, end) in ranges.items():
+                if base <= w.site < end:
+                    out.append({
+                        "file": path, "offset": w.site - base,
+                        "checker": w.checker, "kind": w.kind,
+                        "type_name": w.type_name, "state": w.state,
+                        "func": w.func, "line": w.line,
+                        "witness": list(w.witness),
+                    })
+                    break
+        out.sort(key=_identity)
+        return out
+
+    # -- the edit loop -----------------------------------------------------
+
+    def scan(self, only=None) -> dict:
+        """Observe the workspace once; re-derive what changed; return
+        the edit's ``grapple/run-report`` fragment."""
+        t0 = time.perf_counter()
+        tick = self.trace.begin() if self.trace is not None else 0.0
+        misses_before = self.cache.misses
+        changed, removed = self._diff_workspace(only=only)
+        rederived = self.cache.misses - misses_before
+        delta = self._edge_delta()
+        if self.trace is not None:
+            self.trace.end("incr-diff", tick, cat="serve",
+                           changed=len(changed), removed=len(removed))
+        if not changed and not removed and not delta:
+            return self._fragment(t0, [], [], [], [], [], None, 0)
+
+        tick = self.trace.begin() if self.trace is not None else 0.0
+        closure_delta = self.closure.apply(delta)
+        self.stats.edits_served += 1
+        self.stats.edges_rederived += closure_delta.edges_rederived
+        if self.trace is not None:
+            self.trace.end("incr-join", tick, cat="serve",
+                           rounds=closure_delta.rounds,
+                           joins=closure_delta.joins)
+
+        before = {
+            _identity(w): w
+            for entry in self.strata.values() for w in entry["warnings"]
+        }
+        new_strata: dict[str, dict] = {}
+        runs = []
+        for component in self.closure.components(self.files):
+            membership = sorted(component)
+            digest = self._stratum_digest(membership)
+            entry = self.strata.get(digest)
+            if entry is None:
+                try:
+                    run = self._run_stratum(membership)
+                except ParseError as exc:
+                    # LinkError (duplicate symbols after an edit) and
+                    # friends: the stratum contributes no warnings but
+                    # the daemon keeps serving; the fragment says why.
+                    self.errors[membership[0]] = str(exc)
+                    entry = {"files": membership, "warnings": [],
+                             "error": str(exc)}
+                else:
+                    runs.append(run)
+                    for path in membership:
+                        self.errors.pop(path, None)
+                    entry = {
+                        "files": membership,
+                        "warnings": self._localize(run),
+                    }
+            new_strata[digest] = entry
+
+        tick = self.trace.begin() if self.trace is not None else 0.0
+        self.strata = new_strata
+        after = {
+            _identity(w): w
+            for entry in self.strata.values() for w in entry["warnings"]
+        }
+        added = [after[k] for k in sorted(after.keys() - before.keys())]
+        retracted = [before[k] for k in sorted(before.keys() - after.keys())]
+        self.stats.warnings_retracted += len(retracted)
+        if self.trace is not None:
+            self.trace.end("incr-retract", tick, cat="serve",
+                           retracted=len(retracted))
+        self._save_state()
+        return self._fragment(
+            t0, runs, changed, removed, added, retracted, closure_delta,
+            rederived,
+        )
+
+    def edit(self, path: str, text: str) -> dict:
+        """Apply one edit (write-through to the workspace) and answer."""
+        full = os.path.join(self.workspace, path)
+        serialize.atomic_write_bytes(full, text.encode())
+        return self.scan(only={path})
+
+    def remove(self, path: str) -> dict:
+        try:
+            os.remove(os.path.join(self.workspace, path))
+        except OSError:
+            pass
+        return self.scan(only=set())
+
+    # -- accumulated state -------------------------------------------------
+
+    def _site_bases(self) -> dict[str, int]:
+        """Global site base per file, matching the batch loader's
+        canonical (module, path) file order over the current sources."""
+        order = sorted(self.files.values(), key=lambda m: (m.module, m.path))
+        bases: dict[str, int] = {}
+        acc = 0
+        for meta in order:
+            bases[meta.path] = acc
+            acc += meta.sites
+        return bases
+
+    def warnings(self) -> list[dict]:
+        """The accumulated warnings, rebased to global site ids --
+        identical to a from-scratch run over the current sources."""
+        bases = self._site_bases()
+        out = []
+        for entry in self.strata.values():
+            for w in entry["warnings"]:
+                doc = dict(w)
+                doc["site"] = bases[w["file"]] + w["offset"]
+                out.append(doc)
+        out.sort(key=_identity)
+        return out
+
+    def report(self) -> dict:
+        """The full accumulated state as one JSON document."""
+        return {
+            "schema": "grapple/serve-report",
+            "version": 1,
+            "workspace": self.workspace,
+            "files": {p: m.digest for p, m in sorted(self.files.items())},
+            "strata": [
+                {"digest": digest, "files": entry["files"],
+                 "warnings": len(entry["warnings"])}
+                for digest, entry in sorted(self.strata.items())
+            ],
+            "errors": dict(sorted(self.errors.items())),
+            "warnings": self.warnings(),
+            "counters": {
+                "edits_served": self.stats.edits_served,
+                "edges_rederived": self.stats.edges_rederived,
+                "warnings_retracted": self.stats.warnings_retracted,
+            },
+        }
+
+    # -- fragments ---------------------------------------------------------
+
+    def _fragment(self, t0, runs, changed, removed, added, retracted,
+                  closure_delta, rederived) -> dict:
+        """One per-edit ``grapple/run-report`` (v2) fragment.
+
+        The standard sections aggregate the stratum runs this edit
+        triggered; the extra ``edit`` section carries the delta.  The
+        document passes ``repro.obs.report.validate_run_report``
+        (unknown sections are ignored by v1/v2 readers).
+        """
+        merged = EngineStats()
+        for run in runs:
+            merged.merge_phase(run.stats)
+        merged.edits_served = self.stats.edits_served
+        merged.edges_rederived = self.stats.edges_rederived
+        merged.warnings_retracted = self.stats.warnings_retracted
+        snapshot = merged.registry_view().snapshot()
+        total = time.perf_counter() - t0
+        preprocess = sum(r.preprocess_time for r in runs)
+        warning_count = sum(
+            len(entry["warnings"]) for entry in self.strata.values()
+        )
+        fragment = {
+            "schema": "grapple/run-report",
+            "version": 2,
+            "generated_unix": round(time.time(), 3),
+            "timing": {
+                "preprocess_s": round(preprocess, 6),
+                "computation_s": round(max(total - preprocess, 0.0), 6),
+                "total_s": round(total, 6),
+            },
+            "breakdown": {
+                k: round(v, 6) for k, v in merged.breakdown().items()
+            },
+            "counters": {
+                k: round(v, 6) if isinstance(v, float) else v
+                for k, v in snapshot["counters"].items()
+            },
+            "gauges": {
+                k: round(v, 6) if isinstance(v, float) else v
+                for k, v in snapshot["gauges"].items()
+            },
+            "histograms": snapshot["histograms"],
+            "warnings": warning_count,
+            "subject": f"serve:{self.workspace}",
+            "edit": {
+                "seq": self.stats.edits_served,
+                "changed": sorted(changed),
+                "removed": sorted(removed),
+                "errors": dict(sorted(self.errors.items())),
+                "artifacts_rederived": rederived,
+                "strata_rechecked": len(runs),
+                "strata_total": len(self.strata),
+                "closure": {
+                    "edges_added": len(closure_delta.added),
+                    "edges_removed": len(closure_delta.removed),
+                    "rounds": closure_delta.rounds,
+                    "joins": closure_delta.joins,
+                } if closure_delta is not None else None,
+                "warnings_added": added,
+                "warnings_retracted": retracted,
+            },
+        }
+        if not fragment["counters"].get("waves"):
+            fragment["counters"].pop("waves", None)
+        if runs:
+            # Aggregated scope-resolution counters of this edit's
+            # stratum runs (same optional section as the batch report).
+            scopes: dict[str, int] = {}
+            for run in runs:
+                for key, value in \
+                        run.compiled.resolution.stats.as_dict().items():
+                    scopes[key] = scopes.get(key, 0) + value
+            fragment["scopes"] = scopes
+        return fragment
+
+
+class Server:
+    """Line-oriented JSON protocol over a local unix socket.
+
+    One request per connection, newline-terminated::
+
+        {"op": "ping"}
+        {"op": "scan"}
+        {"op": "edit", "path": "core.mini", "text": "..."}
+        {"op": "remove", "path": "core.mini"}
+        {"op": "report"}
+        {"op": "shutdown"}
+
+    Between connections the server polls the workspace (mtime+digest,
+    no external watchers), so out-of-band edits are served too.
+    """
+
+    def __init__(self, engine: ServeEngine, socket_path: str | None = None,
+                 poll: float = 0.5, out=None):
+        self.engine = engine
+        self.socket_path = socket_path
+        self.poll = poll
+        self.out = out if out is not None else sys.stdout
+        self._sock = None
+        self._shutdown = False
+
+    def _emit(self, doc: dict) -> None:
+        json.dump(doc, self.out, sort_keys=True)
+        self.out.write("\n")
+        self.out.flush()
+
+    def _handle(self, request: dict) -> dict:
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "op": "ping"}
+        if op == "scan":
+            return self.engine.scan()
+        if op == "edit":
+            return self.engine.edit(request["path"], request["text"])
+        if op == "remove":
+            return self.engine.remove(request["path"])
+        if op == "report":
+            return self.engine.report()
+        if op == "shutdown":
+            self._shutdown = True
+            return {"ok": True, "op": "shutdown"}
+        return {"error": f"unknown op {op!r}"}
+
+    def _serve_connection(self, conn) -> None:
+        with conn:
+            data = b""
+            while not data.endswith(b"\n"):
+                chunk = conn.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+            if not data.strip():
+                return
+            try:
+                request = json.loads(data)
+                response = self._handle(request)
+            except (ValueError, KeyError) as exc:
+                response = {"error": str(exc)}
+            conn.sendall(json.dumps(response, sort_keys=True).encode() + b"\n")
+
+    def run(self, max_requests: int | None = None) -> int:
+        """Serve until shutdown (or ``max_requests`` connections)."""
+        fragment = self.engine.scan()  # cold start: bring state current
+        self._emit(fragment)
+        if self.socket_path is None:
+            # Pure polling mode: no socket, just watch the workspace.
+            while not self._shutdown:
+                time.sleep(self.poll)
+                fragment = self.engine.scan()
+                if fragment["edit"]["changed"] or fragment["edit"]["removed"]:
+                    self._emit(fragment)
+            return 0
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            os.unlink(self.socket_path)
+        except OSError:
+            pass
+        sock.bind(self.socket_path)
+        sock.listen(8)
+        sock.settimeout(self.poll)
+        self._sock = sock
+        served = 0
+        try:
+            while not self._shutdown:
+                try:
+                    conn, _ = sock.accept()
+                except socket.timeout:
+                    fragment = self.engine.scan()
+                    if fragment["edit"]["changed"] \
+                            or fragment["edit"]["removed"]:
+                        self._emit(fragment)
+                    continue
+                self._serve_connection(conn)
+                served += 1
+                if max_requests is not None and served >= max_requests:
+                    break
+        finally:
+            sock.close()
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+        return 0
+
+
+def request(socket_path: str, payload: dict) -> dict:
+    """One client round-trip against a running :class:`Server`."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.connect(socket_path)
+        sock.sendall(json.dumps(payload).encode() + b"\n")
+        data = b""
+        while not data.endswith(b"\n"):
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            data += chunk
+    return json.loads(data)

@@ -28,7 +28,7 @@ committed golden).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.workloads.bugs import SeededBug
 
@@ -463,16 +463,17 @@ CLEAN_PACK_PATTERNS = [
 ]
 
 
-def generate_multifile_subject(profile: MultiFileProfile) -> MultiFileSubject:
-    """Deterministically generate a three-file subject from a profile."""
-    rng = random.Random(profile.seed)
+def _seeded_pieces(profile: MultiFileProfile, rng: random.Random,
+                   name_prefix: str, pad_to: int = 0):
+    """The profile's seeded (and padding) pieces, shuffled, as
+    ``(fragments-per-module, seeds)``."""
     pieces: list[tuple[dict, list[SeededBug]]] = []
     index = 0
 
     def next_name() -> str:
         nonlocal index
         index += 1
-        return f"{profile.name}_p{index}"
+        return f"{name_prefix}_p{index}"
 
     for checker, (tp_count, fp_count) in sorted(profile.packs.items()):
         templates = TP_PACK_PATTERNS.get(checker, [])
@@ -487,7 +488,7 @@ def generate_multifile_subject(profile: MultiFileProfile) -> MultiFileSubject:
             _loc(text) for parts, _ in pieces for text in parts.values()
         )
 
-    while current_loc() < profile.target_loc:
+    while current_loc() < pad_to:
         template = rng.choice(CLEAN_PACK_PATTERNS)
         pieces.append(template(next_name(), rng))
 
@@ -499,12 +500,105 @@ def generate_multifile_subject(profile: MultiFileProfile) -> MultiFileSubject:
         for module, text in parts.items():
             fragments[module].append(text)
         seeds.extend(piece_seeds)
+    return fragments, seeds
 
+
+#: Deep-import-chain length inside each scaled cluster.
+CLUSTER_CHAIN_DEPTH = 3
+
+
+def _generate_cluster(profile: MultiFileProfile, k: int):
+    """One independent module cluster of a scaled subject.
+
+    Cluster ``k`` owns the namespaces ``g{k}core`` / ``g{k}svc`` /
+    ``g{k}app`` plus a deep import chain (``g{k}mid0`` .. importing each
+    other in sequence) and a re-export diamond (``g{k}left`` and
+    ``g{k}right`` both single-symbol-importing the same core function,
+    with the app converging on both).  Every cluster gets the profile's
+    full pack set, retargeted by rewriting the templates' ``core.`` /
+    ``svc.`` qualifiers -- so cluster warnings stay byte-predictable and
+    clusters never share a name (or, downstream, a dependency stratum).
+    """
+    p = f"g{k}"
+    rng = random.Random(profile.seed * 1000003 + k)
+    fragments, seeds = _seeded_pieces(profile, rng, f"{profile.name}{k}")
+
+    def retarget(text: str) -> str:
+        return text.replace("core.", f"{p}core.").replace("svc.", f"{p}svc.")
+
+    seeds = [replace(s, func=f"{p}{s.func}") for s in seeds]
+    core_extra = (
+        f"func {p}_depth(v) {{\n    return v + 1;\n}}\n"
+        f"func {p}_shared(v) {{\n    return v * 2;\n}}\n"
+    )
     sources = {
-        "core.mini": "module core;\n" + "".join(fragments["core"]),
-        "svc.mini": "module svc;\nimport core;\n" + "".join(fragments["svc"]),
-        "app.mini": "import core;\nimport svc;\n" + "".join(fragments["app"]),
+        f"{p}core.mini": f"module {p}core;\n"
+        + "".join(retarget(t) for t in fragments["core"]) + core_extra,
+        f"{p}svc.mini": f"module {p}svc;\nimport {p}core;\n"
+        + "".join(retarget(t) for t in fragments["svc"]),
     }
+    prev_mod, prev_func = f"{p}core", f"{p}_depth"
+    for j in range(CLUSTER_CHAIN_DEPTH):
+        mod, fn = f"{p}mid{j}", f"{p}_hop{j}"
+        sources[f"{mod}.mini"] = (
+            f"module {mod};\nimport {prev_mod};\n"
+            f"func {fn}(v) {{\n    return {prev_mod}.{prev_func}(v);\n}}\n"
+        )
+        prev_mod, prev_func = mod, fn
+    for side, bump in (("left", 1), ("right", 2)):
+        sources[f"{p}{side}.mini"] = (
+            f"module {p}{side};\nimport {p}core.{p}_shared;\n"
+            f"func {p}_{side[0]}wrap(v) {{\n"
+            f"    return {p}_shared(v + {bump});\n}}\n"
+        )
+    app_extra = (
+        f"func {p}_chain_entry(x) {{\n"
+        f"    return {prev_mod}.{prev_func}(x);\n}}\n"
+        f"func {p}_diamond(x) {{\n"
+        f"    var l = {p}left.{p}_lwrap(x);\n"
+        f"    var r = {p}right.{p}_rwrap(x);\n"
+        f"    return l + r;\n}}\n"
+    )
+    sources[f"{p}app.mini"] = (
+        f"module {p}app;\nimport {p}core;\nimport {p}svc;\n"
+        f"import {prev_mod};\nimport {p}left;\nimport {p}right;\n"
+        + "".join(retarget(t) for t in fragments["app"]) + app_extra
+    )
+    return sources, seeds
+
+
+def generate_multifile_subject(profile: MultiFileProfile,
+                               scale: float = 1.0) -> MultiFileSubject:
+    """Deterministically generate a multi-file subject from a profile.
+
+    ``scale <= 1`` (the default) emits the canonical three-file subject,
+    byte-identical to what every committed golden was built from.
+    ``scale > 1`` emits ``round(scale)`` *independent clusters* of
+    ``3 + CLUSTER_CHAIN_DEPTH + 2`` modules each (see
+    :func:`_generate_cluster`) -- tens of modules at modest scales,
+    with deep import chains and re-export diamonds, sized for the
+    incremental daemon where an edit must stay confined to one cluster's
+    dependency stratum.
+    """
+    if scale <= 1:
+        rng = random.Random(profile.seed)
+        fragments, seeds = _seeded_pieces(
+            profile, rng, profile.name, pad_to=profile.target_loc
+        )
+        sources = {
+            "core.mini": "module core;\n" + "".join(fragments["core"]),
+            "svc.mini": "module svc;\nimport core;\n"
+            + "".join(fragments["svc"]),
+            "app.mini": "import core;\nimport svc;\n"
+            + "".join(fragments["app"]),
+        }
+    else:
+        sources = {}
+        seeds = []
+        for k in range(max(2, int(round(scale)))):
+            cluster_sources, cluster_seeds = _generate_cluster(profile, k)
+            sources.update(cluster_sources)
+            seeds.extend(cluster_seeds)
     return MultiFileSubject(
         name=profile.name,
         sources=sources,
@@ -534,7 +628,7 @@ MULTIFILE_PROFILES: dict[str, MultiFileProfile] = {
 }
 
 
-def build_multifile_subject(name: str) -> MultiFileSubject:
+def build_multifile_subject(name: str, scale: float = 1.0) -> MultiFileSubject:
     """Generate one of the named multi-file subjects (``gateway``)."""
     try:
         profile = MULTIFILE_PROFILES[name]
@@ -543,7 +637,7 @@ def build_multifile_subject(name: str) -> MultiFileSubject:
             f"unknown multi-file subject {name!r};"
             f" available: {sorted(MULTIFILE_PROFILES)}"
         ) from None
-    return generate_multifile_subject(profile)
+    return generate_multifile_subject(profile, scale=scale)
 
 
 def pack_accounting(name: str = "gateway", reduce: bool = True,
@@ -607,6 +701,10 @@ def _main(argv=None) -> int:
                         " TP/FP accounting as JSON")
     parser.add_argument("--no-reduce", action="store_true")
     parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="scale > 1 emits round(scale) independent"
+                        " module clusters instead of the canonical"
+                        " three files (--report always uses scale 1)")
     args = parser.parse_args(argv)
     if args.report:
         doc = pack_accounting(
@@ -615,7 +713,7 @@ def _main(argv=None) -> int:
         json.dump(doc, sys.stdout, indent=2, sort_keys=True)
         sys.stdout.write("\n")
         return 0
-    subject = build_multifile_subject(args.subject)
+    subject = build_multifile_subject(args.subject, scale=args.scale)
     for path in sorted(subject.sources):
         sys.stdout.write(f"// ---- {path} ----\n{subject.sources[path]}\n")
     return 0

@@ -137,3 +137,87 @@ def test_manifest_is_valid_json_with_format_tag(tmp_path):
     with open(tmp_path / "alias" / ckpt.MANIFEST) as f:
         manifest = json.load(f)
     assert manifest["format"] == ckpt.FORMAT
+
+
+def test_prune_removes_only_unreferenced_engine_files(tmp_path):
+    run = _run(tmp_path)
+    phase_dir = tmp_path / "dataflow"
+    manifest = ckpt.load_manifest(str(phase_dir))
+    referenced = {d["path"] for d in manifest["partitions"]}
+    referenced |= {d["delta_path"] for d in manifest["partitions"]}
+    # Strew superseded garbage: orphaned partition/delta files, atomic
+    # temps, a manifest temp, and one foreign file prune must not touch.
+    garbage = ["part_99990.bin", "delta_99991.bin", "part_99990.bin.tmp",
+               ckpt.MANIFEST + ".tmp"]
+    for name in garbage:
+        (phase_dir / name).write_bytes(b"stale")
+    (phase_dir / "notes.txt").write_bytes(b"keep me")
+    before = set(os.listdir(phase_dir))
+    pruned = ckpt.prune_workdir(str(phase_dir), manifest)
+    assert pruned == len(garbage)
+    survivors = set(os.listdir(phase_dir))
+    # Every referenced file that existed is untouched (folded delta
+    # logs were already gone before the prune).
+    assert (referenced & before) <= survivors
+    assert ckpt.MANIFEST in survivors
+    assert "notes.txt" in survivors
+    assert not (set(garbage) & survivors)
+    assert run.stats.checkpoint_files_pruned >= 0
+
+
+def test_engine_prunes_during_resumed_run(tmp_path):
+    """Garbage in a workdir being *resumed* (fresh runs clear it up
+    front instead) disappears once a durable checkpoint fires, and the
+    run's answer is intact."""
+    first = _run(tmp_path)
+    for phase in ("alias", "dataflow"):
+        phase_dir = tmp_path / phase
+        (phase_dir / "part_55555.bin").write_bytes(b"orphan")
+        # Mark the manifest incomplete so the resume re-enters the
+        # closure loop (and its checkpoint/prune path) instead of
+        # adopting the finished result wholesale.
+        manifest = json.loads((phase_dir / ckpt.MANIFEST).read_text())
+        manifest["complete"] = False
+        (phase_dir / ckpt.MANIFEST).write_text(json.dumps(manifest))
+    again = _run(tmp_path, resume=True)
+    assert [w for w in again.report.warnings] == [
+        w for w in first.report.warnings
+    ]
+    assert again.stats.checkpoint_files_pruned >= 2
+    for phase in ("alias", "dataflow"):
+        assert not (tmp_path / phase / "part_55555.bin").exists()
+
+
+def test_prune_mid_kill_keeps_latest_resumable_state(tmp_path, monkeypatch):
+    """A crash after any prefix of the prune's deletions must leave the
+    manifest's state fully resumable."""
+    first = _run(tmp_path)
+    phase_dir = tmp_path / "dataflow"
+    manifest = ckpt.load_manifest(str(phase_dir))
+    for name in ("part_99990.bin", "delta_99991.bin", "part_99992.bin",
+                 "delta_99993.bin"):
+        (phase_dir / name).write_bytes(b"stale")
+
+    real_remove = os.remove
+    calls = {"n": 0}
+
+    def dying_remove(path):
+        calls["n"] += 1
+        if calls["n"] > 2:
+            raise KeyboardInterrupt("kill -9 mid-prune")
+        real_remove(path)
+
+    monkeypatch.setattr(os, "remove", dying_remove)
+    with pytest.raises(KeyboardInterrupt):
+        ckpt.prune_workdir(str(phase_dir), manifest)
+    monkeypatch.setattr(os, "remove", real_remove)
+
+    # Some garbage survived the partial prune; the referenced state did
+    # too, and a --resume run reproduces the original answer exactly.
+    referenced = {d["path"] for d in manifest["partitions"]}
+    survivors = set(os.listdir(phase_dir))
+    assert referenced <= survivors
+    resumed = _run(tmp_path, resume=True)
+    assert [w for w in resumed.report.warnings] == [
+        w for w in first.report.warnings
+    ]

@@ -71,6 +71,39 @@ def test_prefetch_missing_file_is_miss(tmp_path):
         reader.close()
 
 
+def test_prefetch_unexpected_error_raises_at_take(part_file, tmp_path,
+                                                  monkeypatch):
+    """A programming error on the reader thread must not degrade to a
+    benign miss: take() re-raises it and the reader counts it."""
+    def boom(data):
+        raise TypeError("not an I/O race")
+
+    monkeypatch.setattr(serialize, "parse_columnar", boom)
+    reader = PrefetchReader()
+    try:
+        reader.schedule(0, 3, part_file, str(tmp_path / "none.delta"))
+        with pytest.raises(TypeError, match="not an I/O race"):
+            reader.take(0, 3)
+        assert reader.errors == 1
+    finally:
+        reader.close()
+
+
+def test_prefetch_oserror_still_benign_miss(part_file, tmp_path,
+                                            monkeypatch):
+    def denied(data):
+        raise OSError("transient")
+
+    monkeypatch.setattr(serialize, "parse_columnar", denied)
+    reader = PrefetchReader()
+    try:
+        reader.schedule(0, 3, part_file, str(tmp_path / "none.delta"))
+        assert reader.take(0, 3) is None
+        assert reader.errors == 0
+    finally:
+        reader.close()
+
+
 def test_prefetch_invalidate(part_file, tmp_path):
     reader = PrefetchReader()
     try:
@@ -79,6 +112,31 @@ def test_prefetch_invalidate(part_file, tmp_path):
         assert reader.take(0, 1) is None
     finally:
         reader.close()
+
+
+def test_store_counts_prefetch_errors_and_reraises(tmp_path, monkeypatch):
+    from repro.engine.partition import PartitionStore
+    from repro.engine.stats import EngineStats
+
+    store = PartitionStore(str(tmp_path), memory_budget=1 << 20,
+                           stats=EngineStats(), cache_slots=1,
+                           prefetch=PrefetchReader())
+    try:
+        store.initialize({1: {(2, 0): {(("I", "f", 0, 3),)}},
+                          60: {(61, 0): {(("I", "g", 0, 0),)}}},
+                         num_vertices=100, min_partitions=2)
+        target = store.partitions[0]
+        store.load(store.partitions[1])  # evict target from the cache
+        monkeypatch.setattr(
+            serialize, "parse_columnar",
+            lambda data: (_ for _ in ()).throw(TypeError("boom")),
+        )
+        store.prefetch_schedule(target)
+        with pytest.raises(TypeError, match="boom"):
+            store.load(target)
+        assert store.stats.prefetch_errors == 1
+    finally:
+        store.drop_pipeline()
 
 
 @pytest.mark.parametrize("compress", [False, True])

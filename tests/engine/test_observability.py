@@ -74,8 +74,11 @@ def test_merge_field_classification_is_exhaustive():
             "edges_before", "edges_after", "vertices",
             "final_partitions", "retries", "pairs_quarantined",
             "partitions_rebuilt", "partitions_quarantined",
-            "checkpoints_written", "shm_publishes", "pairs_stolen",
-            "worker_idle_s", "strata"} == coordinator
+            "checkpoints_written", "checkpoint_files_pruned",
+            "shm_publishes", "pairs_stolen",
+            "worker_idle_s", "strata",
+            "edits_served", "edges_rederived",
+            "warnings_retracted"} == coordinator
     # Anything else must be an explicitly non-counter kind, not a
     # forgotten field.
     assert other == {"timed_out", "metrics"}

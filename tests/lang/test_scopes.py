@@ -1,6 +1,7 @@
 """Scope-graph name resolution across files (DESIGN.md §15)."""
 
 import itertools
+import os
 
 import pytest
 
@@ -222,3 +223,55 @@ def test_artifact_cache_hits_on_second_load(tmp_path):
     )
     assert moved.resolution.stats.artifact_cache_hits == 2
     assert moved.resolution.file_of["net.shut"] == "moved/net.mini"
+
+
+def test_artifact_cache_counts_misses(tmp_path):
+    cache = ScopeArtifactCache(str(tmp_path))
+    sources = {"app.mini": APP, "net.mini": NET}
+    first = load_modules(sources, cache=cache)
+    assert first.resolution.stats.artifact_cache_misses == 2
+    second = load_modules(sources, cache=cache)
+    assert second.resolution.stats.artifact_cache_misses == 0
+    assert second.resolution.stats.artifact_cache_evictions == 0
+
+
+def test_artifact_cache_lru_eviction_unlinks_files(tmp_path):
+    cache = ScopeArtifactCache(str(tmp_path), capacity=2)
+    variants = [f"func f{i}(x) {{ return x; }}\n" for i in range(4)]
+    for text in variants:
+        load_modules({"one.mini": text}, cache=cache)
+    assert cache.evictions == 2
+    assert len(cache) == 2
+    on_disk = [n for n in os.listdir(tmp_path) if n.endswith(".scope.json")]
+    assert len(on_disk) == 2
+    # The two most recent digests survive; the oldest two are gone.
+    for text, expected in zip(variants, [False, False, True, True]):
+        present = os.path.exists(
+            os.path.join(tmp_path, f"{source_digest(text)}.scope.json")
+        )
+        assert present is expected
+
+
+def test_artifact_cache_adopts_existing_directory(tmp_path):
+    cache = ScopeArtifactCache(str(tmp_path))
+    load_modules({"app.mini": APP, "net.mini": NET}, cache=cache)
+    # A fresh cache over the same directory (daemon restart) indexes the
+    # files and enforces its own, smaller bound.
+    warm = ScopeArtifactCache(str(tmp_path), capacity=1)
+    assert len(warm) == 1
+    on_disk = [n for n in os.listdir(tmp_path) if n.endswith(".scope.json")]
+    assert len(on_disk) == 1
+    # The surviving entry still hits.
+    digest = on_disk[0][: -len(".scope.json")]
+    assert warm.get(digest) is not None
+    assert warm.hits == 1
+
+
+def test_artifact_cache_get_returns_private_copy(tmp_path):
+    cache = ScopeArtifactCache(str(tmp_path))
+    load_modules({"net.mini": NET}, cache=cache)
+    digest = source_digest(NET)
+    first = cache.get(digest)
+    first.path = "mutated/by/loader.mini"
+    second = cache.get(digest)
+    assert second.path == "net.mini"

@@ -1,0 +1,281 @@
+"""The incremental serve daemon (repro.serve, DESIGN.md §16).
+
+The acceptance bar: after a sequence of scripted edits, the daemon's
+accumulated state is byte-identical (warnings and TP/FP accounting)
+to a from-scratch run over the final sources, while each edit only
+re-derives its own stratum.
+"""
+
+import json
+import os
+import random
+import subprocess
+import sys
+import threading
+import time
+
+from repro.analysis.pipeline import Grapple
+from repro.checkers.checker import pack_checkers
+from repro.obs.report import validate_run_report
+from repro.serve import Server, ServeEngine, request
+from repro.workloads.bugs import classify_report
+from repro.workloads.multifile import build_multifile_subject
+
+SCALE = 2.0  # two clusters, 16 files -- plenty of strata, quick tests
+
+
+def _fsms():
+    return [c.fsm for c in pack_checkers()]
+
+
+def _write_workspace(directory, scale=SCALE):
+    subject = build_multifile_subject("gateway", scale=scale)
+    os.makedirs(directory, exist_ok=True)
+    for path, text in subject.sources.items():
+        with open(os.path.join(directory, path), "w") as f:
+            f.write(text)
+    return subject
+
+
+def _engine(tmp_path, **kw):
+    ws, wd = str(tmp_path / "ws"), str(tmp_path / "wd")
+    _write_workspace(ws)
+    return ServeEngine(ws, wd, _fsms(), **kw)
+
+
+def _scratch_warnings(workspace):
+    sources = {
+        name: open(os.path.join(workspace, name)).read()
+        for name in sorted(os.listdir(workspace))
+        if name.endswith(".mini")
+    }
+    run = Grapple(sources, _fsms()).run()
+    return run, sorted(
+        (w.checker, w.kind, w.site, w.type_name, w.state, w.func, w.line)
+        for w in run.report.warnings
+    )
+
+
+def _accumulated(engine):
+    return sorted(
+        (w["checker"], w["kind"], w["site"], w["type_name"], w["state"],
+         w["func"], w["line"])
+        for w in engine.warnings()
+    )
+
+
+def test_cold_scan_matches_scratch_and_validates(tmp_path):
+    engine = _engine(tmp_path)
+    fragment = engine.scan()
+    assert validate_run_report(fragment) == []
+    _, scratch = _scratch_warnings(engine.workspace)
+    assert _accumulated(engine) == scratch
+    assert fragment["warnings"] == len(scratch)
+    assert fragment["counters"]["edits_served"] == 1
+    assert fragment["edit"]["strata_total"] == 2  # one per cluster
+
+
+def test_content_edit_rechecks_exactly_one_stratum(tmp_path):
+    engine = _engine(tmp_path)
+    engine.scan()
+    path = os.path.join(engine.workspace, "g0svc.mini")
+    text = open(path).read() + "func g0_pad(v) {\n    return v + 7;\n}\n"
+    fragment = engine.edit("g0svc.mini", text)
+    assert fragment["edit"]["changed"] == ["g0svc.mini"]
+    assert fragment["edit"]["strata_rechecked"] == 1
+    assert validate_run_report(fragment) == []
+    # The scope cache re-derived exactly the edited file's artifact; the
+    # stratum re-run then hit the cache for every member.
+    assert fragment["edit"]["artifacts_rederived"] == 1
+    assert fragment["scopes"]["artifact_cache_misses"] == 0
+    _, scratch = _scratch_warnings(engine.workspace)
+    assert _accumulated(engine) == scratch
+
+
+def test_edit_retracts_superseded_warnings(tmp_path):
+    engine = _engine(tmp_path)
+    engine.scan()
+    path = os.path.join(engine.workspace, "g1core.mini")
+    text = open(path).read().replace("new UserInput()", "new CleanBuf()", 1)
+    fragment = engine.edit("g1core.mini", text)
+    assert fragment["edit"]["warnings_retracted"], "taint source removed"
+    assert fragment["counters"]["warnings_retracted"] >= 1
+    _, scratch = _scratch_warnings(engine.workspace)
+    assert _accumulated(engine) == scratch
+
+
+def test_file_removal_splits_and_retracts(tmp_path):
+    engine = _engine(tmp_path)
+    engine.scan()
+    before = len(engine.warnings())
+    fragment = engine.remove("g1app.mini")
+    assert fragment["edit"]["removed"] == ["g1app.mini"]
+    # Removing the cluster app drops every warning whose entry point
+    # lived there (all of the cluster's seeded flows sink in app).
+    assert len(engine.warnings()) < before
+    _, scratch = _scratch_warnings(engine.workspace)
+    assert _accumulated(engine) == scratch
+
+
+def test_random_edit_sequence_byte_identical_to_scratch(tmp_path):
+    """Acceptance: N scripted edits; accumulated state == from-scratch
+    on the final sources, including the TP/FP accounting."""
+    engine = _engine(tmp_path)
+    engine.scan()
+    rng = random.Random(7)
+    paths = sorted(
+        n for n in os.listdir(engine.workspace) if n.endswith(".mini")
+    )
+    for step in range(6):
+        victim = rng.choice(paths)
+        text = open(os.path.join(engine.workspace, victim)).read()
+        kind = rng.randrange(3)
+        if kind == 0:  # append a clean function
+            text += (f"func pad{step}_x(v) {{\n"
+                     f"    return v + {step};\n}}\n")
+        elif kind == 1 and "new UserInput()" in text:  # defuse a taint TP
+            text = text.replace("new UserInput()", "new Plain()", 1)
+        else:  # whitespace-only churn: digest changes, semantics don't
+            text += "\n\n"
+        fragment = engine.edit(victim, text)
+        assert validate_run_report(fragment) == []
+        assert fragment["edit"]["strata_rechecked"] <= 1
+    run, scratch = _scratch_warnings(engine.workspace)
+    assert _accumulated(engine) == scratch
+    # TP/FP accounting agrees too: rebuild Warning-like tuples and
+    # classify against the generator's (unedited) seed list filtered to
+    # functions that still warn identically.
+    subject = build_multifile_subject("gateway", scale=SCALE)
+    outcome_scratch = classify_report(subject.seeds, run.report)
+    by_func_scratch = sorted(
+        (w.checker, w.func) for w in run.report.warnings
+    )
+    by_func_serve = sorted(
+        (w["checker"], w["func"]) for w in engine.warnings()
+    )
+    assert by_func_serve == by_func_scratch
+    assert not outcome_scratch.unexpected or all(
+        w.func.startswith(("g0", "g1")) for w in outcome_scratch.unexpected
+    )
+
+
+def test_restart_resumes_without_recompute(tmp_path):
+    engine = _engine(tmp_path)
+    engine.scan()
+    warnings_before = _accumulated(engine)
+    again = ServeEngine(engine.workspace, engine.workdir, _fsms())
+    fragment = again.scan()
+    assert fragment["edit"]["strata_rechecked"] == 0
+    assert fragment["edit"]["changed"] == []
+    assert _accumulated(again) == warnings_before
+
+
+def test_restart_with_stale_workspace_rechecks_only_dirty(tmp_path):
+    engine = _engine(tmp_path)
+    engine.scan()
+    # Edit behind the daemon's back (it is "down").
+    path = os.path.join(engine.workspace, "g0app.mini")
+    with open(path, "a") as f:
+        f.write("func g0_offline(v) {\n    return v;\n}\n")
+    os.utime(path, (1e9, 1e9))  # make sure mtime moves
+    again = ServeEngine(engine.workspace, engine.workdir, _fsms())
+    fragment = again.scan()
+    assert fragment["edit"]["changed"] == ["g0app.mini"]
+    assert fragment["edit"]["strata_rechecked"] == 1
+    _, scratch = _scratch_warnings(engine.workspace)
+    assert _accumulated(again) == scratch
+
+
+def test_config_change_invalidates_persisted_state(tmp_path):
+    engine = _engine(tmp_path)
+    engine.scan()
+    other = ServeEngine(engine.workspace, engine.workdir, _fsms(), unroll=3)
+    fragment = other.scan()
+    assert fragment["edit"]["strata_rechecked"] == 2  # full recompute
+
+
+def test_parse_error_keeps_serving_and_recovers(tmp_path):
+    engine = _engine(tmp_path)
+    engine.scan()
+    good = _accumulated(engine)
+    broken_path = os.path.join(engine.workspace, "g0svc.mini")
+    original = open(broken_path).read()
+    fragment = engine.edit("g0svc.mini", original + "func broken( {\n")
+    assert "g0svc.mini" in fragment["edit"]["errors"]
+    # Last good analysis survives the broken edit.
+    assert _accumulated(engine) == good
+    fragment = engine.edit("g0svc.mini", original)
+    assert fragment["edit"]["errors"] == {}
+    assert _accumulated(engine) == good
+
+
+def test_incr_spans_are_recorded(tmp_path):
+    from repro.obs.trace import TraceRecorder
+
+    recorder = TraceRecorder()
+    engine = _engine(tmp_path, trace=recorder)
+    engine.scan()
+    path = os.path.join(engine.workspace, "g1svc.mini")
+    engine.edit("g1svc.mini", open(path).read() + "\n")
+    names = {e["name"] for e in recorder.events if e.get("ph") == "X"}
+    assert {"incr-diff", "incr-join", "incr-retract"} <= names
+
+
+def test_unix_socket_roundtrip(tmp_path):
+    engine = _engine(tmp_path)
+    sock_path = str(tmp_path / "serve.sock")
+    out = open(os.devnull, "w")
+    server = Server(engine, socket_path=sock_path, poll=0.05, out=out)
+    thread = threading.Thread(target=server.run, daemon=True)
+    thread.start()
+    try:
+        for _ in range(200):
+            if os.path.exists(sock_path):
+                break
+            time.sleep(0.01)
+        assert request(sock_path, {"op": "ping"})["ok"] is True
+        path = os.path.join(engine.workspace, "g0left.mini")
+        text = open(path).read() + "func g0_sock(v) {\n    return v;\n}\n"
+        fragment = request(
+            sock_path, {"op": "edit", "path": "g0left.mini", "text": text}
+        )
+        assert fragment["edit"]["changed"] == ["g0left.mini"]
+        assert fragment["edit"]["strata_rechecked"] == 1
+        report = request(sock_path, {"op": "report"})
+        assert report["schema"] == "grapple/serve-report"
+        assert report["counters"]["edits_served"] >= 2
+        assert request(sock_path, {"op": "shutdown"})["ok"] is True
+    finally:
+        thread.join(timeout=10)
+        out.close()
+    assert not thread.is_alive()
+    _, scratch = _scratch_warnings(engine.workspace)
+    assert _accumulated(engine) == scratch
+
+
+def test_cli_serve_once_emits_valid_fragment(tmp_path):
+    ws, wd = str(tmp_path / "ws"), str(tmp_path / "wd")
+    _write_workspace(ws, scale=SCALE)
+    env = dict(os.environ, PYTHONPATH="src", PYTHONHASHSEED="0")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "serve", ws, "--workdir", wd,
+         "--checkers", "taint,order,iterator,lockdep", "--once"],
+        capture_output=True, text=True, env=env, cwd=os.getcwd(),
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    fragment = json.loads(proc.stdout)
+    assert validate_run_report(fragment) == []
+    assert fragment["warnings"] > 0
+    # Second --once run resumes from serve-state.json: no recompute.
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "serve", ws, "--workdir", wd,
+         "--checkers", "taint,order,iterator,lockdep", "--once",
+         "--report"],
+        capture_output=True, text=True, env=env, cwd=os.getcwd(),
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    report = json.loads(proc.stdout)
+    assert report["schema"] == "grapple/serve-report"
+    assert len(report["warnings"]) == fragment["warnings"]
